@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Reports are printed (visible with ``-s``) and also written to
+``benchmarks/reports/`` so a plain ``pytest benchmarks/ --benchmark-only``
+run leaves the paper-vs-measured tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture()
+def emit(report_dir):
+    """Print a report and persist it under ``benchmarks/reports/``."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""A small diagnostic expert system in OPS5 — the kind of application
+the paper's introduction motivates — run sequentially and on the
+threaded parallel engine, demonstrating they agree.
+
+The knowledge base triages machine faults: symptoms assert findings,
+findings combine into hypotheses, hypotheses with enough support become
+diagnoses.
+"""
+
+from repro import Interpreter, parse_program
+from repro.parallel.engine import ParallelMatcher
+from repro.rete.network import ReteNetwork
+
+SOURCE = """
+(literalize symptom name severity)
+(literalize finding fault weight)
+(literalize diagnosis fault score)
+(literalize phase step)
+
+; --- symptom -> finding rules -------------------------------------
+(p overheat-points-to-cooling
+  (symptom ^name overheating ^severity <s>)
+  -->
+  (make finding ^fault cooling ^weight <s>))
+
+(p overheat-points-to-load
+  (symptom ^name overheating ^severity > 5)
+  -->
+  (make finding ^fault overload ^weight 3))
+
+(p noise-points-to-bearings
+  (symptom ^name grinding-noise ^severity <s>)
+  -->
+  (make finding ^fault bearings ^weight (compute <s> * 2)))
+
+(p vibration-points-to-bearings
+  (symptom ^name vibration ^severity <s>)
+  -->
+  (make finding ^fault bearings ^weight <s>))
+
+(p vibration-points-to-mounting
+  (symptom ^name vibration ^severity > 7)
+  -->
+  (make finding ^fault mounting ^weight 4))
+
+; --- finding aggregation ------------------------------------------
+(p open-diagnosis
+  (finding ^fault <f> ^weight <w>)
+  - (diagnosis ^fault <f>)
+  -->
+  (make diagnosis ^fault <f> ^score 0))
+
+(p accumulate-evidence
+  (diagnosis ^fault <f> ^score <s>)
+  (finding ^fault <f> ^weight <w>)
+  -->
+  (modify 1 ^score (compute <s> + <w>))
+  (remove 2))
+
+; --- reporting ------------------------------------------------------
+(p report-strong-diagnosis
+  (phase ^step report)
+  (diagnosis ^fault <f> ^score >= 10)
+  -->
+  (write PROBABLE fault <f> score <score-unused>))
+
+(p report-strong
+  (phase ^step report)
+  (diagnosis ^fault <f> ^score { <s> >= 10 })
+  -->
+  (write probable fault <f> score <s>)
+  (remove 2))
+
+(p report-weak
+  (phase ^step report)
+  (diagnosis ^fault <f> ^score { <s> < 10 })
+  -->
+  (write possible fault <f> score <s>)
+  (remove 2))
+
+(p start-report
+  (phase ^step collect)
+  - (finding)
+  -->
+  (modify 1 ^step report))
+
+(p done
+  (phase ^step report)
+  - (diagnosis)
+  -->
+  (write triage complete)
+  (halt))
+
+(startup
+  (make phase ^step collect)
+  (make symptom ^name overheating ^severity 6)
+  (make symptom ^name grinding-noise ^severity 4)
+  (make symptom ^name vibration ^severity 8))
+"""
+
+# Drop the accidental bad rule above (unbound variable) — keep the
+# working knowledge base only.
+SOURCE = SOURCE.replace(
+    """(p report-strong-diagnosis
+  (phase ^step report)
+  (diagnosis ^fault <f> ^score >= 10)
+  -->
+  (write PROBABLE fault <f> score <score-unused>))
+
+""",
+    "",
+)
+
+
+def main() -> None:
+    sequential = Interpreter(SOURCE).run(max_cycles=500)
+    print("sequential engine:")
+    for line in sequential.output:
+        print("  ", line)
+
+    program = parse_program(SOURCE)
+    network = ReteNetwork.compile(program)
+    matcher = ParallelMatcher(network, n_workers=3, n_queues=2)
+    with Interpreter(program, matcher=matcher) as interp:
+        parallel = interp.run(max_cycles=500)
+
+    print("\nthreaded parallel engine (3 match processes):")
+    for line in parallel.output:
+        print("  ", line)
+
+    assert sorted(sequential.output) == sorted(parallel.output)
+    print("\nsequential and parallel engines agree.")
+
+
+if __name__ == "__main__":
+    main()

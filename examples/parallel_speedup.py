@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The headline experiment: regenerate the paper's speed-up tables.
+
+Runs all three benchmark programs, records their match-task traces, and
+simulates PSM-E on the Encore Multimax across the paper's configuration
+grid (process counts × task queues × lock schemes), printing Tables
+4-5, 4-6 and 4-8 with the paper's numbers alongside ours.
+
+This takes a couple of minutes — it is the full reproduction driver.
+Pass --table to regenerate a single table.
+"""
+
+import argparse
+
+from repro.harness import ALL_TABLES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--table",
+        choices=sorted(ALL_TABLES),
+        help="regenerate one table (default: the three speed-up tables)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every table of the paper"
+    )
+    args = parser.parse_args()
+
+    if args.table:
+        selected = [args.table]
+    elif args.all:
+        selected = list(ALL_TABLES)
+    else:
+        selected = ["4-5", "4-6", "4-8"]
+
+    for table_id in selected:
+        result = ALL_TABLES[table_id]()
+        print(result.report)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: write an OPS5 program, run it, inspect the match.
+
+The public API in three steps:
+
+1. write OPS5 source (productions + a startup block),
+2. build an :class:`repro.Interpreter` and ``run()`` it,
+3. read the output, firings, and match statistics.
+"""
+
+from repro import Interpreter
+
+SOURCE = """
+(literalize order id item qty status)
+(literalize stock item level)
+
+; Fill an order when stock suffices.
+(p fill-order
+  (order ^id <o> ^item <i> ^qty <q> ^status open)
+  (stock ^item <i> ^level >= <q>)
+  -->
+  (modify 2 ^level (compute <level-was> - 0))   ; placeholder, see below
+  (modify 1 ^status filled)
+  (write order <o> filled))
+
+(startup
+  (make stock ^item widget ^level 10)
+  (make stock ^item gizmo ^level 1)
+  (make order ^id 1 ^item widget ^qty 4 ^status open)
+  (make order ^id 2 ^item gizmo ^qty 5 ^status open))
+"""
+
+# The placeholder above needs the stock level bound to a variable; OPS5
+# binds on first '=' occurrence, so write the real rule like this:
+SOURCE = """
+(literalize order id item qty status)
+(literalize stock item level)
+
+(p fill-order
+  (order ^id <o> ^item <i> ^qty <q> ^status open)
+  (stock ^item <i> ^level { <l> >= <q> })
+  -->
+  (modify 2 ^level (compute <l> - <q>))
+  (modify 1 ^status filled)
+  (write order <o> filled))
+
+(p reject-order
+  (order ^id <o> ^item <i> ^qty <q> ^status open)
+  (stock ^item <i> ^level < <q>)
+  -->
+  (modify 1 ^status rejected)
+  (write order <o> rejected))
+
+(startup
+  (make stock ^item widget ^level 10)
+  (make stock ^item gizmo ^level 1)
+  (make order ^id 1 ^item widget ^qty 4 ^status open)
+  (make order ^id 2 ^item gizmo ^qty 5 ^status open))
+"""
+
+
+def main() -> None:
+    interp = Interpreter(SOURCE)
+    result = interp.run()
+
+    print("program output:")
+    for line in result.output:
+        print("  ", line)
+
+    print("\nfirings:")
+    for firing in result.firings:
+        print(f"   cycle {firing.cycle}: {firing.production} {firing.timetags}")
+
+    stats = interp.stats
+    print("\nmatch statistics:")
+    print(f"   WM changes processed: {stats.wme_changes}")
+    print(f"   node activations:     {stats.node_activations}")
+    print(f"   conflict-set changes: {stats.cs_changes}")
+
+    print("\nfinal working memory:")
+    for wme in interp.wm.snapshot():
+        print("  ", wme)
+
+
+if __name__ == "__main__":
+    main()

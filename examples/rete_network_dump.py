@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Figure 2-2: compile the paper's example productions and dump the
+Rete network structure, showing constant-test node sharing.
+"""
+
+from repro import parse_program
+from repro.rete.network import ReteNetwork
+from repro.rete.nodes import JoinNode, NotNode
+
+FIGURE_2_2 = """
+(p p1
+  (C1 ^attr1 <x> ^attr2 12)
+  (C2 ^attr1 15 ^attr2 <x>)
+  - (C3 ^attr1 <x>)
+  -->
+  (remove 2))
+(p p2
+  (C2 ^attr1 15 ^attr2 <y>)
+  (C4 ^attr1 <y>)
+  -->
+  (modify 1 ^attr1 12))
+"""
+
+
+def main() -> None:
+    network = ReteNetwork.compile(parse_program(FIGURE_2_2))
+
+    print("Figure 2-2 network for p1 and p2\n")
+    print("constant-test nodes (shared between productions):")
+    for node in network.constant_nodes:
+        print(f"   node {node.node_id}: {node.desc}")
+
+    print("\nalpha terminals and the two-input inputs they feed:")
+    for term in network.alpha_terminals:
+        feeds = ", ".join(
+            f"{type(node).__name__}#{node.node_id}.{side}"
+            for node, side in term.successors
+        )
+        shared = "  [SHARED]" if len(term.successors) > 1 else ""
+        print(f"   alpha {term.alpha_id} -> {feeds}{shared}")
+
+    print("\ntwo-input nodes:")
+    for node in network.beta_nodes:
+        if isinstance(node, (JoinNode, NotNode)):
+            kind = "not " if isinstance(node, NotNode) else "join"
+            print(f"   {kind} node {node.node_id}: tests {list(node.tests)}")
+
+    print("\nterminal nodes:")
+    for name, term in network.terminals.items():
+        print(f"   {name}: node {term.node_id}")
+
+    counts = network.node_counts()
+    print(f"\nnode counts: {counts}")
+    assert counts["terminal"] == 2 and counts["join"] == 2 and counts["not"] == 1
+
+
+if __name__ == "__main__":
+    main()

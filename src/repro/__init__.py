@@ -1,0 +1,48 @@
+"""PSM-E reproduction: Parallel OPS5 on the Encore Multimax (ICPP 1988).
+
+A complete Python reproduction of Gupta, Forgy, Kalp, Newell & Tambe's
+parallel OPS5 system: the OPS5 language, the Rete match algorithm with
+linear (vs1) and global-hash-table (vs2) token memories, interpreted
+and compiled test evaluation, a threaded parallel match engine with the
+paper's synchronization design, and a deterministic discrete-event
+simulator of the 16-processor Encore Multimax that regenerates every
+table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Interpreter
+
+    src = '''
+    (p hello (greeting ^to <who>) --> (write hello <who>) (halt))
+    (startup (make greeting ^to world))
+    '''
+    result = Interpreter(src).run()
+    assert result.output == ["hello world"]
+"""
+
+from .ops5.astnodes import Production, Program
+from .ops5.interpreter import Firing, Interpreter, RunResult
+from .ops5.parser import parse_production, parse_program
+from .ops5.wme import WME, WMEChange, WorkingMemory
+from .rete.matcher import SequentialMatcher
+from .rete.network import ReteNetwork
+from .rete.trace import TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Firing",
+    "Interpreter",
+    "Production",
+    "Program",
+    "ReteNetwork",
+    "RunResult",
+    "SequentialMatcher",
+    "TraceRecorder",
+    "WME",
+    "WMEChange",
+    "WorkingMemory",
+    "parse_production",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run FILE``
+    Run an OPS5 program file; print its output (``--stats``, ``--trace``
+    and ``--strategy`` control detail).
+
+``network FILE``
+    Compile a program and dump its Rete network structure.
+
+``simulate FILE``
+    Run a program, record its match-task trace, and simulate it on the
+    Encore Multimax across a grid of process/queue counts.
+
+``tables [IDS...]``
+    Regenerate the paper's tables (all of them by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ops5.interpreter import Interpreter
+from .ops5.parser import parse_program
+from .rete.network import ReteNetwork
+from .rete.trace import TraceRecorder
+
+
+def _read_program(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_program(fh.read())
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _read_program(args.file)
+    interp = Interpreter(
+        program,
+        strategy=args.strategy,
+        memory=args.memory,
+        mode=args.mode,
+    )
+    result = interp.run(max_cycles=args.max_cycles)
+    for line in result.output:
+        print(line)
+    if args.trace:
+        print("\nfirings:", file=sys.stderr)
+        for firing in result.firings:
+            print(
+                f"  {firing.cycle:5d}  {firing.production}  {firing.timetags}",
+                file=sys.stderr,
+            )
+    if args.stats:
+        stats = interp.stats
+        print(
+            f"\ncycles={result.cycles} halted={result.halted} "
+            f"wm_changes={stats.wme_changes} "
+            f"activations={stats.node_activations} "
+            f"match_seconds={interp.matcher.match_seconds:.3f}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    network = ReteNetwork.compile(_read_program(args.file), mode=args.mode)
+    counts = network.node_counts()
+    print(f"productions:        {len(network.productions)}")
+    for kind, n in counts.items():
+        print(f"{kind + ':':<19} {n}")
+    if args.verbose:
+        print("\nconstant-test nodes:")
+        for node in network.constant_nodes:
+            print(f"  #{node.node_id}: {node.desc}")
+        print("\ntwo-input nodes:")
+        for node in network.two_input_nodes():
+            print(f"  {node.kind} #{node.node_id}: tests={list(node.tests)}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulator.engine import simulate, uniprocessor_baseline
+
+    program = _read_program(args.file)
+    recorder = TraceRecorder()
+    interp = Interpreter(program, recorder=recorder)
+    result = interp.run(max_cycles=args.max_cycles)
+    print(f"run: {result.cycles} cycles, {recorder.trace.n_tasks} match tasks")
+    base = uniprocessor_baseline(recorder.trace)
+    print(f"uniprocessor match (simulated Encore Multimax): {base.match_seconds:.3f}s")
+    print(f"{'config':>12} {'speed-up':>9} {'queue spins':>12}")
+    for k in args.processes:
+        for q in args.queues:
+            run = simulate(recorder.trace, n_match=k, n_queues=q, lock_scheme=args.locks)
+            print(
+                f"{f'1+{k}/{q}q':>12} "
+                f"{base.match_instr / run.match_instr:>9.2f} "
+                f"{run.queue_stats.mean_spins:>12.2f}"
+            )
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .harness.experiments import ALL_TABLES
+
+    selected = args.ids or list(ALL_TABLES)
+    unknown = [t for t in selected if t not in ALL_TABLES]
+    if unknown:
+        print(f"unknown tables: {unknown}; available: {sorted(ALL_TABLES)}", file=sys.stderr)
+        return 2
+    for table_id in selected:
+        print(ALL_TABLES[table_id]().report)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run an OPS5 program")
+    p_run.add_argument("file")
+    p_run.add_argument("--strategy", choices=["lex", "mea"], default="lex")
+    p_run.add_argument("--memory", choices=["hash", "linear"], default="hash")
+    p_run.add_argument("--mode", choices=["compiled", "interpreted"], default="compiled")
+    p_run.add_argument("--max-cycles", type=int, default=100000)
+    p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--trace", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_net = sub.add_parser("network", help="dump the compiled Rete network")
+    p_net.add_argument("file")
+    p_net.add_argument("--mode", choices=["compiled", "interpreted"], default="compiled")
+    p_net.add_argument("-v", "--verbose", action="store_true")
+    p_net.set_defaults(func=cmd_network)
+
+    p_sim = sub.add_parser("simulate", help="simulate a program on the Encore Multimax")
+    p_sim.add_argument("file")
+    p_sim.add_argument("--processes", type=int, nargs="+", default=[1, 3, 7, 13])
+    p_sim.add_argument("--queues", type=int, nargs="+", default=[1, 8])
+    p_sim.add_argument("--locks", choices=["simple", "mrsw"], default="simple")
+    p_sim.add_argument("--max-cycles", type=int, default=100000)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_tab = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tab.add_argument("ids", nargs="*")
+    p_tab.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

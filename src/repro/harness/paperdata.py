@@ -1,0 +1,108 @@
+"""The paper's published numbers, transcribed from Tables 4-1 … 4-9.
+
+Every benchmark prints its measured values next to these so the
+paper-vs-measured comparison is mechanical.  ``PROCS`` / ``QUEUES`` are
+the column headers shared by Tables 4-5/4-6/4-8 ("1+k" processes).
+"""
+
+from __future__ import annotations
+
+PROGRAMS = ("weaver", "rubik", "tourney")
+
+#: Match-process counts of the "1+k" columns.
+PROCS = (1, 3, 5, 7, 11, 13)
+
+#: Task-queue counts per column in the multiple-queue tables (4-6/4-8).
+QUEUES_MULTI = (1, 2, 4, 8, 8, 8)
+
+#: Task-queue counts in the single-queue tables (4-5/4-7).
+QUEUES_SINGLE = (1, 1, 1, 1, 1, 1)
+
+# Table 4-1: uniprocessor versions on Microvax-II.
+TABLE_4_1 = {
+    #            vs1 (s)  vs2 (s)  WM changes  node activations
+    "weaver": {"vs1_s": 101.5, "vs2_s": 85.8, "wm_changes": 1528, "activations": 371173},
+    "rubik": {"vs1_s": 235.2, "vs2_s": 96.9, "wm_changes": 8350, "activations": 554051},
+    "tourney": {"vs1_s": 323.7, "vs2_s": 93.5, "wm_changes": 987, "activations": 72040},
+}
+
+# Table 4-2: mean tokens examined in the opposite memory (non-empty
+# opposite memories only), linear vs hash, left vs right activations.
+TABLE_4_2 = {
+    "weaver": {"lin_left": 10.1, "hash_left": 7.7, "lin_right": 5.2, "hash_right": 1.0},
+    "rubik": {"lin_left": 31.0, "hash_left": 3.8, "lin_right": 1.6, "hash_right": 1.8},
+    "tourney": {"lin_left": 47.6, "hash_left": 5.9, "lin_right": 270.1, "hash_right": 23.3},
+}
+
+# Table 4-3: mean tokens examined in the same memory for deletes.
+TABLE_4_3 = {
+    "weaver": {"lin_left": 6.2, "hash_left": 3.6, "lin_right": 7.0, "hash_right": 5.1},
+    "rubik": {"lin_left": 23.5, "hash_left": 2.6, "lin_right": 8.1, "hash_right": 3.7},
+    "tourney": {"lin_left": 254.4, "hash_left": 40.1, "lin_right": 3.8, "hash_right": 2.9},
+}
+
+# Table 4-4: Franz-Lisp-based vs C-based (vs2) implementation.
+TABLE_4_4 = {
+    "weaver": {"lisp_s": 1104.0, "vs2_s": 85.8, "speedup": 12.9},
+    "rubik": {"lisp_s": 1175.0, "vs2_s": 96.9, "speedup": 12.1},
+    "tourney": {"lisp_s": 2302.0, "vs2_s": 93.5, "speedup": 24.6},
+}
+
+# Table 4-5: speed-ups, single task queue, simple hash-table locks.
+TABLE_4_5 = {
+    "weaver": {"uniproc_s": 119.9, "speedups": (1.02, 2.55, 3.65, 3.97, 3.91, 3.90)},
+    "rubik": {"uniproc_s": 257.9, "speedups": (1.00, 2.80, 4.47, 5.48, 6.18, 6.30)},
+    "tourney": {"uniproc_s": 98.0, "speedups": (1.10, 1.90, 2.70, 2.59, 2.43, 2.41)},
+}
+
+# Table 4-6: speed-ups, multiple task queues (1/2/4/8/8/8), simple locks.
+TABLE_4_6 = {
+    "weaver": {"uniproc_s": 118.2, "speedups": (1.02, 2.88, 4.51, 5.80, 7.56, 8.15)},
+    "rubik": {"uniproc_s": 253.6, "speedups": (1.07, 3.93, 6.41, 8.49, 10.66, 11.42)},
+    "tourney": {"uniproc_s": 97.7, "speedups": (1.12, 2.02, 2.17, 2.33, 2.47, 2.30)},
+}
+
+# Table 4-7: contention for the single central task queue — mean spins
+# on the queue lock before access.
+TABLE_4_7 = {
+    "weaver": (1.03, 2.68, 6.31, 11.58, 20.05, 24.62),
+    "rubik": (1.01, 2.63, 5.92, 10.58, 22.66, 26.89),
+    "tourney": (1.00, 1.57, 2.53, 3.94, 7.22, 8.93),
+}
+
+# Table 4-8: speed-ups, multiple queues + MRSW hash-table locks.
+TABLE_4_8 = {
+    "weaver": {"uniproc_s": 134.9, "speedups": (1.02, 3.02, 4.63, 6.14, 8.18, 9.02)},
+    "rubik": {"uniproc_s": 289.4, "speedups": (1.04, 3.98, 6.40, 9.01, 11.33, 12.35)},
+    "tourney": {"uniproc_s": 100.8, "speedups": (1.07, 2.06, 2.58, 2.40, 2.57, 2.67)},
+}
+
+# Table 4-9: contention for token hash-table line locks — mean spins
+# before access, by activation side, 6 vs 12 match processes.
+TABLE_4_9 = {
+    "weaver": {
+        "simple": {6: {"left": 20.4, "right": 1.0}, 12: {"left": 51.2, "right": 1.4}},
+        "mrsw": {6: {"left": 4.7, "right": 2.0}, 12: {"left": 15.7, "right": 2.1}},
+    },
+    "rubik": {
+        "simple": {6: {"left": 11.0, "right": 1.1}, 12: {"left": 23.0, "right": 1.5}},
+        "mrsw": {6: {"left": 3.7, "right": 2.0}, 12: {"left": 12.9, "right": 2.1}},
+    },
+    "tourney": {
+        "simple": {6: {"left": 137.1, "right": 4.9}, 12: {"left": 377.7, "right": 15.7}},
+        "mrsw": {6: {"left": 49.9, "right": 2.9}, 12: {"left": 134.9, "right": 33.3}},
+    },
+}
+
+#: §4.2: rewriting Tourney's two cross-product productions raised the
+#: 1+13 speed-up from 2.7× to 5.1×.
+TOURNEY_FIX = {"before": 2.7, "after": 5.1}
+
+#: §4.1: mean task durations (µs on the 0.5 MIPS Microvax-II).
+MEAN_TASK_US = {"weaver": 230.0, "rubik": 175.0, "tourney": 1300.0}
+
+#: §5: task lengths range over 100-700 machine instructions.
+TASK_INSTR_RANGE = (100, 700)
+
+#: Rule counts (§4 intro).
+RULE_COUNTS = {"weaver": 637, "rubik": 70, "tourney": 17}

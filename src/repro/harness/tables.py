@@ -1,0 +1,35 @@
+"""Plain-text table rendering for paper-vs-measured reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A monospace table with a title bar, aligned on column widths."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def paired_row(label: str, paper: Sequence, measured: Sequence) -> List[List[str]]:
+    """Two rows per program: the paper's numbers and ours."""
+    return [
+        [f"{label} (paper)"] + [_fmt(v) for v in paper],
+        [f"{label} (ours)"] + [_fmt(v) for v in measured],
+    ]

@@ -1,0 +1,19 @@
+"""The OPS5 language: lexer, parser, AST, working memory, conflict
+resolution, RHS evaluation, and the recognize-act interpreter."""
+
+from .astnodes import Production, Program
+from .interpreter import Interpreter, RunResult
+from .parser import parse_production, parse_program
+from .wme import WME, WMEChange, WorkingMemory
+
+__all__ = [
+    "Interpreter",
+    "Production",
+    "Program",
+    "RunResult",
+    "WME",
+    "WMEChange",
+    "WorkingMemory",
+    "parse_production",
+    "parse_program",
+]

@@ -1,0 +1,167 @@
+"""Conflict set and conflict-resolution strategies (LEX and MEA).
+
+The conflict set holds *instantiations* — (production, ordered WME list)
+pairs delivered by the terminal nodes.  Conflict resolution picks the
+instantiation to fire:
+
+* **Refraction** — an instantiation fires at most once; firing removes
+  it from the conflict set (it becomes eligible again only if match
+  re-derives it, e.g. when a negated condition toggles).
+* **LEX** — order instantiations by their timetags sorted descending,
+  compared lexicographically (most recent first); if one tag list is a
+  prefix of the other, the longer dominates; ties broken by
+  specificity, then deterministically by name/timetags so runs are
+  reproducible.
+* **MEA** — like LEX but the timetag of the WME matching the *first*
+  condition element is compared before anything else.
+
+In parallel mode conflict-set deltas can arrive out of order (a remove
+before its add), so the set is maintained with signed counts; the
+control process applies all of a cycle's deltas before selecting, at
+which point every count must be 0 or 1 (checked by ``validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .astnodes import Production
+from .errors import RuntimeOps5Error
+from ..rete.token import Token
+
+
+@dataclass(frozen=True)
+class Instantiation:
+    """A satisfied production with the WMEs that satisfy it."""
+
+    production: Production
+    token: Token
+
+    @property
+    def key(self) -> Tuple[str, Tuple[int, ...]]:
+        return (self.production.name, self.token.key)
+
+    def timetags_desc(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.token.key, reverse=True))
+
+    def __str__(self) -> str:
+        tags = " ".join(str(t) for t in self.token.key)
+        return f"{self.production.name} [{tags}]"
+
+
+class ConflictSet:
+    """The set of currently satisfied instantiations, with signed counts."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self._strict = strict
+        self._entries: Dict[Tuple[str, Tuple[int, ...]], Tuple[Instantiation, int]] = {}
+        self._fired: set = set()
+
+    def __len__(self) -> int:
+        return sum(1 for _inst, c in self._entries.values() if c > 0)
+
+    def apply(self, production: Production, token: Token, sign: int) -> None:
+        inst = Instantiation(production, token)
+        key = inst.key
+        current = self._entries.get(key)
+        count = (current[1] if current else 0) + sign
+        if self._strict and (count < 0 or count > 1):
+            raise RuntimeOps5Error(
+                f"conflict set corrupt: {inst} reached count {count}"
+            )
+        if count == 0:
+            self._entries.pop(key, None)
+            # The instantiation left the conflict set; if it re-enters
+            # later (e.g. a negated condition toggled), it may fire again.
+            self._fired.discard(key)
+        else:
+            self._entries[key] = (inst, count)
+
+    def mark_fired(self, inst: Instantiation) -> None:
+        """Refraction: the instantiation stays in the set but is no
+        longer eligible for selection while it remains there."""
+        self._fired.add(inst.key)
+
+    def validate(self) -> None:
+        """Check that every entry has count exactly 1 (post-cycle invariant)."""
+        bad = [(k, c) for k, (_i, c) in self._entries.items() if c != 1]
+        if bad:
+            raise RuntimeOps5Error(f"conflict set counts out of range: {bad[:5]}")
+
+    def instantiations(self) -> List[Instantiation]:
+        """Every present instantiation, fired or not."""
+        return [inst for inst, c in self._entries.values() if c > 0]
+
+    def eligible(self) -> List[Instantiation]:
+        """Instantiations conflict resolution may select (refraction applied)."""
+        return [
+            inst
+            for inst, c in self._entries.values()
+            if c > 0 and inst.key not in self._fired
+        ]
+
+    def __contains__(self, key: Tuple[str, Tuple[int, ...]]) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and entry[1] > 0
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def _lex_sort_key(inst: Instantiation):
+    # Descending recency, longer-dominates, then specificity; the final
+    # name/timetag components exist purely to make selection total and
+    # deterministic.
+    tags = inst.timetags_desc()
+    return (
+        tags,
+        len(tags),
+        inst.production.specificity(),
+        inst.production.name,
+        inst.token.key,
+    )
+
+
+def _mea_sort_key(inst: Instantiation):
+    first = inst.token.key[0] if inst.token.key else 0
+    return (first,) + _lex_sort_key(inst)
+
+
+class Strategy:
+    """Base class for conflict-resolution strategies."""
+
+    name = "base"
+
+    def select(self, cs: ConflictSet) -> Optional[Instantiation]:
+        raise NotImplementedError
+
+
+class LexStrategy(Strategy):
+    name = "lex"
+
+    def select(self, cs: ConflictSet) -> Optional[Instantiation]:
+        insts = cs.eligible()
+        if not insts:
+            return None
+        return max(insts, key=_lex_sort_key)
+
+
+class MeaStrategy(Strategy):
+    name = "mea"
+
+    def select(self, cs: ConflictSet) -> Optional[Instantiation]:
+        insts = cs.eligible()
+        if not insts:
+            return None
+        return max(insts, key=_mea_sort_key)
+
+
+def make_strategy(name: str) -> Strategy:
+    if name == "lex":
+        return LexStrategy()
+    if name == "mea":
+        return MeaStrategy()
+    raise ValueError(f"unknown strategy {name!r}")

@@ -1,0 +1,211 @@
+"""The OPS5 recognize-act interpreter — the paper's *control process*.
+
+Drives the three-phase cycle of §2.1:
+
+1. **Match** — delegate the WM changes of the last firing to the match
+   engine (sequential Rete, or the threaded parallel engine — anything
+   implementing ``process_changes(changes) -> [CSDelta]``).
+2. **Conflict resolution** — LEX or MEA over the conflict set, with
+   refraction.
+3. **Act** — execute the chosen instantiation's compiled RHS, producing
+   the next batch of WM changes (and output / halt).
+
+The interpreter is deliberately single-threaded even when the matcher
+is parallel: conflict resolution, RHS evaluation and I/O all belong to
+the control process (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .astnodes import ConditionElement, Constant, Production, Program
+from .conflict import ConflictSet, Instantiation, make_strategy
+from .errors import RuntimeOps5Error
+from .parser import parse_program
+from .rhs import CompiledRHS
+from .wme import WME, WMEChange, WorkingMemory
+from ..rete.matcher import SequentialMatcher
+from ..rete.network import ReteNetwork
+from ..rete.token import EMPTY
+from ..rete.trace import TraceRecorder
+
+
+@dataclass
+class Firing:
+    """One production firing, for run logs and tests."""
+
+    cycle: int
+    production: str
+    timetags: tuple
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Interpreter.run`."""
+
+    cycles: int
+    halted: bool
+    firings: List[Firing] = field(default_factory=list)
+    output: List[str] = field(default_factory=list)
+
+    @property
+    def fired_names(self) -> List[str]:
+        return [f.production for f in self.firings]
+
+
+class Interpreter:
+    """A complete OPS5 interpreter over a pluggable match engine.
+
+    Parameters
+    ----------
+    program:
+        A :class:`~repro.ops5.astnodes.Program` or OPS5 source text.
+    matcher:
+        Any object with ``process_changes``; defaults to a
+        :class:`~repro.rete.matcher.SequentialMatcher` built with the
+        given ``memory``/``mode``/``n_lines``.
+    strategy:
+        ``'lex'`` (default) or ``'mea'``.
+    recorder:
+        Optional :class:`~repro.rete.trace.TraceRecorder` capturing the
+        task DAG for the Encore simulator (sequential matcher only).
+    """
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        matcher=None,
+        strategy: str = "lex",
+        memory: str = "hash",
+        mode: str = "compiled",
+        n_lines: int = 1024,
+        recorder: Optional[TraceRecorder] = None,
+        input_values: Optional[Sequence[Constant]] = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.network = ReteNetwork.compile(program, mode=mode)
+        if matcher is None:
+            matcher = SequentialMatcher(
+                self.network, memory=memory, n_lines=n_lines, recorder=recorder
+            )
+        self.matcher = matcher
+        self.recorder = recorder
+        self.strategy = make_strategy(strategy)
+        self.wm = WorkingMemory()
+        self.conflict_set = ConflictSet(strict=getattr(matcher, "strict_cs", True))
+        self.output: List[str] = []
+        self.halted = False
+        self.cycle = 0
+        self.input_values: List[Constant] = list(input_values or ())
+        self._rhs: Dict[str, CompiledRHS] = {
+            p.name: CompiledRHS(p) for p in program.productions
+        }
+        self._startup_done = False
+
+    # -- working-memory entry points ---------------------------------------
+
+    def add_wme(self, klass: str, attrs: Optional[dict] = None) -> WME:
+        """Add a WME directly (outside any firing) and match it."""
+        wme = self.wm.add(klass, attrs or {})
+        self._apply_changes([WMEChange(sign=1, wme=wme)])
+        return wme
+
+    def remove_wme(self, wme: WME) -> None:
+        self.wm.remove(wme)
+        self._apply_changes([WMEChange(sign=-1, wme=wme)])
+
+    def startup(self) -> None:
+        """Execute the program's ``(startup ...)`` actions once."""
+        if self._startup_done:
+            return
+        self._startup_done = True
+        if not self.program.startup:
+            return
+        dummy = Production(
+            name="<startup>",
+            ces=(ConditionElement(klass="<none>", tests=()),),
+            actions=self.program.startup,
+        )
+        env = CompiledRHS(dummy).execute(self.wm, EMPTY, self.input_values)
+        self.output.extend(env.out)
+        self.halted = self.halted or env.halted
+        self._apply_changes(env.changes)
+
+    def _apply_changes(self, changes: List[WMEChange]) -> int:
+        deltas = self.matcher.process_changes(changes)
+        for delta in deltas:
+            self.conflict_set.apply(delta.production, delta.token, delta.sign)
+        if not getattr(self.matcher, "strict_cs", True):
+            # Parallel deltas arrive unordered; after the batch every
+            # count must have settled to 0 or 1.
+            self.conflict_set.validate()
+        return len(deltas)
+
+    def close(self) -> None:
+        """Release matcher resources (kills parallel match processes)."""
+        closer = getattr(self.matcher, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "Interpreter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the recognize-act cycle -------------------------------------------
+
+    def step(self) -> Optional[Firing]:
+        """One recognize-act cycle; returns the firing or None if quiescent."""
+        if not self._startup_done:
+            self.startup()
+        if self.halted:
+            return None
+        inst = self.strategy.select(self.conflict_set)
+        if inst is None:
+            return None
+        self.conflict_set.mark_fired(inst)  # refraction
+        self.cycle += 1
+        production = inst.production
+        if self.recorder is not None:
+            self.recorder.begin_cycle(production.name, len(production.actions))
+        env = self._rhs[production.name].execute(self.wm, inst.token, self.input_values)
+        self.output.extend(env.out)
+        if env.halted:
+            self.halted = True
+        n_cs_deltas = self._apply_changes(env.changes)
+        if self.recorder is not None:
+            self.recorder.end_cycle(cs_deltas=n_cs_deltas)
+        return Firing(
+            cycle=self.cycle, production=production.name, timetags=inst.token.key
+        )
+
+    def run(self, max_cycles: int = 100000) -> RunResult:
+        """Run until halt, quiescence, or ``max_cycles``."""
+        firings: List[Firing] = []
+        if not self._startup_done:
+            self.startup()
+        while not self.halted and len(firings) < max_cycles:
+            firing = self.step()
+            if firing is None:
+                break
+            firings.append(firing)
+        return RunResult(
+            cycles=self.cycle,
+            halted=self.halted,
+            firings=firings,
+            output=list(self.output),
+        )
+
+    # -- inspection ----------------------------------------------------------
+
+    def conflict_set_names(self) -> List[str]:
+        return sorted(i.production.name for i in self.conflict_set.instantiations())
+
+    @property
+    def stats(self):
+        return getattr(self.matcher, "stats", None)

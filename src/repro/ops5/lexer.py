@@ -1,0 +1,193 @@
+"""Tokenizer for the OPS5 production-system language.
+
+OPS5 source is a sequence of parenthesized forms.  The token inventory is
+small: parentheses, the curly/angle grouping brackets ``{ }`` and
+``<< >>``, the attribute operator ``^``, predicate operators
+(``= <> < <= > >= <=>``), the arrow ``-->``, variables (``<name>``),
+numbers, and symbolic atoms.
+
+The only delicate part of lexing OPS5 is the overloading of ``<`` and
+``>``:
+
+* ``<x>`` (no internal whitespace) is a *variable*;
+* ``<`` followed by whitespace or a non-variable continuation is the
+  less-than predicate;
+* ``<<`` and ``>>`` delimit disjunctions;
+* ``<=`` / ``>=`` / ``<>`` / ``<=>`` are predicates.
+
+We resolve this with longest-match scanning anchored on a regular
+expression for variables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List, Union
+
+from .errors import LexError
+
+
+class TokenType(Enum):
+    """Kinds of lexical tokens produced by :func:`tokenize`."""
+
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()         # {
+    RBRACE = auto()         # }
+    LDOUBLE = auto()        # <<
+    RDOUBLE = auto()        # >>
+    HAT = auto()            # ^
+    ARROW = auto()          # -->
+    MINUS = auto()          # - introducing a negated condition element
+    PREDICATE = auto()      # = <> < <= > >= <=>
+    VARIABLE = auto()       # <x>
+    NUMBER = auto()         # 12, -4, 2.5
+    SYMBOL = auto()         # any other atom
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+# A variable is '<' name '>' with no whitespace; names may contain most
+# printing characters but not the delimiters used by the grammar.
+_VARIABLE_RE = re.compile(r"<([A-Za-z_][A-Za-z0-9_\-]*)>")
+
+# A symbol atom runs until whitespace or a delimiter character.
+_SYMBOL_RE = re.compile(r"[^\s(){}^;]+")
+
+_NUMBER_RE = re.compile(r"[-+]?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?")
+
+# Multi-character operators, longest first.  '<=>' (same-type) must come
+# before '<=' and '<>'.
+_OPERATORS = ("<=>", "<=", ">=", "<>", "<<", ">>", "-->", "=", "<", ">")
+
+_OPERATOR_TYPES = {
+    "<<": TokenType.LDOUBLE,
+    ">>": TokenType.RDOUBLE,
+    "-->": TokenType.ARROW,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list of :class:`Token`.
+
+    Raises :class:`~repro.ops5.errors.LexError` on an unterminated or
+    malformed construct.  Comments run from ``;`` to end of line.
+    """
+    return list(iter_tokens(source))
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    """Yield tokens from ``source`` one at a time (see :func:`tokenize`)."""
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == ";":
+            # Comment to end of line.
+            nl = source.find("\n", pos)
+            pos = n if nl < 0 else nl
+            continue
+        col = pos - line_start + 1
+        if ch == "(":
+            yield Token(TokenType.LPAREN, "(", line, col)
+            pos += 1
+            continue
+        if ch == ")":
+            yield Token(TokenType.RPAREN, ")", line, col)
+            pos += 1
+            continue
+        if ch == "{":
+            yield Token(TokenType.LBRACE, "{", line, col)
+            pos += 1
+            continue
+        if ch == "}":
+            yield Token(TokenType.RBRACE, "}", line, col)
+            pos += 1
+            continue
+        if ch == "^":
+            yield Token(TokenType.HAT, "^", line, col)
+            pos += 1
+            continue
+
+        # Variable?  Must be checked before '<' the predicate.
+        m = _VARIABLE_RE.match(source, pos)
+        if m:
+            yield Token(TokenType.VARIABLE, m.group(1), line, col)
+            pos = m.end()
+            continue
+
+        # Multi-character / single-character operators.
+        matched_op = None
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                matched_op = op
+                break
+        if matched_op == "-->":
+            yield Token(TokenType.ARROW, "-->", line, col)
+            pos += 3
+            continue
+        if matched_op in ("<<", ">>"):
+            yield Token(_OPERATOR_TYPES[matched_op], matched_op, line, col)
+            pos += len(matched_op)
+            continue
+        if matched_op is not None:
+            yield Token(TokenType.PREDICATE, matched_op, line, col)
+            pos += len(matched_op)
+            continue
+
+        # A bare '-' introducing a negated CE: a minus followed by
+        # whitespace or '('.  A minus starting a number is handled by the
+        # number branch below.
+        if ch == "-" and (pos + 1 >= n or source[pos + 1].isspace() or source[pos + 1] == "("):
+            yield Token(TokenType.MINUS, "-", line, col)
+            pos += 1
+            continue
+
+        # Number?
+        m = _NUMBER_RE.match(source, pos)
+        if m:
+            end = m.end()
+            # Guard against symbols that merely start with digits (e.g.
+            # '2x'): the match must end at a delimiter.
+            if end >= n or source[end].isspace() or source[end] in "(){};^":
+                text = m.group(0)
+                value: Union[int, float]
+                if "." in text or "e" in text or "E" in text:
+                    value = float(text)
+                else:
+                    value = int(text)
+                yield Token(TokenType.NUMBER, value, line, col)
+                pos = end
+                continue
+
+        # Symbol atom.
+        m = _SYMBOL_RE.match(source, pos)
+        if m:
+            yield Token(TokenType.SYMBOL, m.group(0), line, col)
+            pos = m.end()
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, col)

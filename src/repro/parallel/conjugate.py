@@ -1,0 +1,83 @@
+"""Conjugate token pair handling — the extra-deletes lists (§3.2).
+
+In a parallel matcher tokens are not processed in generation order, so
+a ``-`` (delete) token can reach a two-input node before the ``+`` it
+cancels.  The paper's solution: park the early delete on the line's
+*extra-deletes list*; when the matching ``+`` arrives, both are
+discarded without further processing.
+
+:class:`ConjugateMemory` wraps any memory system with that behaviour:
+
+* ``remove`` that finds no target parks the token key and reports
+  ``(None, examined)`` — the node then stops (no join);
+* ``insert`` first consults the parked deletes; on a hit it removes the
+  parked entry and returns ``False`` ("annihilated") so the node stops.
+
+All calls for a given (node, side, key) happen under that line's lock
+in the parallel engine, so the parked-delete dict needs no locking of
+its own beyond the GIL-atomicity of individual dict operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class ConjugateMemory:
+    """Memory-system wrapper adding extra-deletes lists."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.kind = inner.kind
+        self._parked: Dict[Tuple[int, str, tuple], List[tuple]] = {}
+        self.annihilations = 0
+        self.parked_total = 0
+
+    # -- wrapped operations -------------------------------------------------
+
+    def insert(self, node_id: int, side: str, key: tuple, item) -> bool:
+        parked = self._parked.get((node_id, side, key))
+        if parked:
+            try:
+                parked.remove(item.key)
+            except ValueError:
+                pass
+            else:
+                self.annihilations += 1
+                if not parked:
+                    self._parked.pop((node_id, side, key), None)
+                return False
+        return self.inner.insert(node_id, side, key, item)
+
+    def remove(self, node_id: int, side: str, key: tuple, token_key: tuple):
+        found, examined = self.inner.remove(node_id, side, key, token_key)
+        if found is None:
+            self._parked.setdefault((node_id, side, key), []).append(token_key)
+            self.parked_total += 1
+        return found, examined
+
+    # -- passthroughs ---------------------------------------------------------
+
+    def lookup_opposite(self, node_id: int, side: str, key: tuple):
+        return self.inner.lookup_opposite(node_id, side, key)
+
+    def side_size(self, node_id: int, side: str) -> int:
+        return self.inner.side_size(node_id, side)
+
+    def items(self, node_id: int, side: str):
+        return self.inner.items(node_id, side)
+
+    def line_of(self, node_id: int, key: tuple) -> int:
+        return self.inner.line_of(node_id, key)
+
+    def total_tokens(self) -> int:
+        return self.inner.total_tokens()
+
+    def clear(self) -> None:
+        self.inner.clear()
+        self._parked.clear()
+
+    @property
+    def pending_deletes(self) -> int:
+        """Parked deletes not yet annihilated (must be 0 after a cycle)."""
+        return sum(len(v) for v in self._parked.values())

@@ -1,0 +1,245 @@
+"""The threaded parallel match engine — PSM-E's structure in Python.
+
+One *control process* (the caller's thread, i.e. the interpreter) and
+``n_workers`` match threads share:
+
+* the compiled Rete network (read-only at match time),
+* the global token hash tables wrapped in
+  :class:`~repro.parallel.conjugate.ConjugateMemory` (extra-deletes
+  lists for out-of-order conjugate pairs),
+* one or more task queues with spin locks,
+* the ``TaskCount`` termination counter,
+* per-line hash-table locks (simple or MRSW).
+
+The control thread pushes one root task per WM change and then waits
+for ``TaskCount`` to reach zero, exactly as in §3.2; match threads loop
+pop → process → push, with every memory-touching activation bracketed
+by its line's lock.
+
+**Honesty note on speed**: under CPython's GIL this engine demonstrates
+the *correctness* of the synchronization design (identical conflict
+sets to the sequential matcher under real interleavings) and yields
+real contention measurements, but no wall-clock speed-up — that is what
+the trace-driven Encore simulator (:mod:`repro.simulator`) is for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from ..ops5.wme import WMEChange
+from ..rete.matcher import SequentialMatcher
+from ..rete.memories import HashMemorySystem
+from ..rete.network import ReteNetwork
+from ..rete.nodes import Activation, CSDelta, JoinNode, MatchContext, NotNode
+from ..rete.stats import MatchStats
+from ..rete.token import Token
+from .conjugate import ConjugateMemory
+from .locks import LockStats, make_line_locks
+from .taskqueue import TaskCount, TaskQueueSet
+
+_POISON = ("poison",)
+
+
+class ParallelMatcher:
+    """Drop-in matcher for :class:`~repro.ops5.interpreter.Interpreter`.
+
+    Parameters mirror the paper's experimental axes: ``n_workers`` (the
+    "k" of "1+k"), ``n_queues`` (1–8), ``lock_scheme`` ('simple' or
+    'mrsw'), ``n_lines`` (hash-table size).
+    """
+
+    #: Conflict-set deltas arrive unordered; the interpreter must use a
+    #: count-based conflict set and validate after each batch.
+    strict_cs = False
+
+    def __init__(
+        self,
+        network: ReteNetwork,
+        n_workers: int = 2,
+        n_queues: int = 1,
+        lock_scheme: str = "simple",
+        n_lines: int = 256,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one match process")
+        self.network = network
+        self.memory = ConjugateMemory(HashMemorySystem(n_lines=n_lines))
+        self.line_locks = make_line_locks(lock_scheme, n_lines)
+        self.queues = TaskQueueSet(n_queues)
+        self.taskcount = TaskCount()
+        self.n_workers = n_workers
+        self._ctxs = [
+            MatchContext(self.memory, MatchStats(), strict=False) for _ in range(n_workers)
+        ]
+        self._shutdown = False
+        self._failures: List[BaseException] = []
+        self._push_seq = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True, name=f"match-{i}")
+            for i in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- control-process side -------------------------------------------------
+
+    def process_changes(self, changes: List[WMEChange]) -> List[CSDelta]:
+        """Pipeline the changes to the match processes; wait for quiescence."""
+        if self._shutdown:
+            raise RuntimeError("matcher already closed")
+        for change in changes:
+            self.taskcount.increment()
+            self.queues.push(("change", change.sign, change.wme), home=self._next_home())
+        # The control process becomes idle and waits for the match
+        # processes to finish (TaskCount == 0).
+        while not self.taskcount.zero:
+            if self._failures:
+                break
+            time.sleep(0)
+        if self._failures:
+            failure = self._failures[0]
+            self.close()
+            raise RuntimeError("match process failed") from failure
+        deltas: List[CSDelta] = []
+        for ctx in self._ctxs:
+            deltas.extend(ctx.cs_deltas)
+            ctx.cs_deltas = []
+        if self.memory.pending_deletes:
+            raise RuntimeError(
+                f"{self.memory.pending_deletes} conjugate deletes left parked"
+            )
+        return deltas
+
+    def close(self) -> None:
+        """Kill the match processes (the control process's end-of-run duty)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self.queues.push(_POISON, home=self._next_home())
+        for t in self._threads:
+            t.join(timeout=10.0)
+
+    def __enter__(self) -> "ParallelMatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _next_home(self) -> int:
+        self._push_seq += 1
+        return self._push_seq
+
+    # -- aggregated measurements ----------------------------------------------
+
+    @property
+    def stats(self) -> MatchStats:
+        merged = MatchStats()
+        for ctx in self._ctxs:
+            s = ctx.stats
+            merged.wme_changes += s.wme_changes
+            merged.node_activations += s.node_activations
+            merged.constant_tests += s.constant_tests
+            merged.alpha_passes += s.alpha_passes
+            merged.tokens_emitted += s.tokens_emitted
+            merged.cs_changes += s.cs_changes
+            merged.opp_examined_left += s.opp_examined_left
+            merged.opp_count_left += s.opp_count_left
+            merged.opp_examined_right += s.opp_examined_right
+            merged.opp_count_right += s.opp_count_right
+            merged.same_del_examined_left += s.same_del_examined_left
+            merged.same_del_count_left += s.same_del_count_left
+            merged.same_del_examined_right += s.same_del_examined_right
+            merged.same_del_count_right += s.same_del_count_right
+            for kind, n in s.activations_by_kind.items():
+                merged.activations_by_kind[kind] = (
+                    merged.activations_by_kind.get(kind, 0) + n
+                )
+        return merged
+
+    def queue_lock_stats(self) -> LockStats:
+        return self.queues.lock_stats()
+
+    def line_lock_stats(self) -> LockStats:
+        return self.line_locks.stats()
+
+    # -- match-process side -----------------------------------------------------
+
+    def _worker(self, wid: int) -> None:
+        ctx = self._ctxs[wid]
+        try:
+            while True:
+                task = self.queues.pop(home=wid)
+                if task is None:
+                    if self._shutdown:
+                        return
+                    time.sleep(0)
+                    continue
+                if task[0] == "poison":
+                    return
+                if task[0] == "change":
+                    self._do_change(ctx, wid, task)
+                else:
+                    self._do_activation(ctx, wid, task)
+                self.taskcount.decrement()
+        except BaseException as exc:  # noqa: BLE001 - reported to control
+            self._failures.append(exc)
+
+    def _push_children(self, wid: int, children: List[Activation]) -> None:
+        for child in children:
+            self.taskcount.increment()
+            self.queues.push(("act", child), home=self._next_home())
+
+    def _do_change(self, ctx: MatchContext, wid: int, task) -> None:
+        _kind, sign, wme = task
+        ctx.stats.wme_changes += 1
+        hits, n_tests = self.network.alpha_dispatch(wme)
+        ctx.stats.constant_tests += n_tests
+        ctx.stats.alpha_passes += len(hits)
+        token = Token.single(wme)
+        children = [
+            Activation(node, side, sign, token)
+            for terminal in hits
+            for node, side in terminal.successors
+        ]
+        self._push_children(wid, children)
+
+    def _do_activation(self, ctx: MatchContext, wid: int, task) -> None:
+        act: Activation = task[1]
+        node = act.node
+        if not node.uses_line():
+            children = node.activate(ctx, act)
+            self._push_children(wid, children)
+            return
+
+        key = node.key_for(act.side, act.token)
+        line = self.memory.line_of(node.node_id, key)
+        if not self.line_locks.enter(line, act.side):
+            # MRSW: tokens from the other side are being processed on
+            # this line — put the task back on a queue and move on.
+            self.taskcount.increment()
+            self.queues.push(task, home=self._next_home())
+            return
+        try:
+            if isinstance(node, JoinNode):
+                self.line_locks.enter_modify(line)
+                try:
+                    proceed = node.update_memory(ctx, act, key)
+                finally:
+                    self.line_locks.exit_modify(line)
+                children = node.search_opposite(ctx, act, key) if proceed else []
+            else:
+                # Negated nodes mutate left-entry counts during the
+                # search, so the whole activation holds the
+                # modification lock.
+                self.line_locks.enter_modify(line)
+                try:
+                    children = node.activate(ctx, act)
+                finally:
+                    self.line_locks.exit_modify(line)
+        finally:
+            self.line_locks.exit(line, act.side)
+        self._push_children(wid, children)

@@ -1,0 +1,7 @@
+"""The paper's three benchmark programs — Weaver (637 rules), Rubik
+(70 rules), Tourney (17 rules) — plus classic small OPS5 programs used
+by the examples and tests."""
+
+from . import blocks, monkey, rubik, tourney, weaver
+
+__all__ = ["blocks", "monkey", "rubik", "tourney", "weaver"]

@@ -1,0 +1,107 @@
+"""Blocks world — a classic small OPS5 program for examples and tests.
+
+A goal-driven stacker: given blocks on a table and a list of ``(on A
+B)`` goals, it clears and moves blocks until every goal holds.  Small
+enough to read in one sitting; exercises negation, modify chains and
+multi-CE joins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_RULES = """
+(literalize block name on clear)
+(literalize goal put onto done)
+(literalize phase step)
+
+(p pick-goal
+  (phase ^step idle)
+  (goal ^put <b> ^onto <t> ^done no)
+  -->
+  (modify 1 ^step work))
+
+(p goal-already-satisfied
+  (phase ^step work)
+  (goal ^put <b> ^onto <t> ^done no)
+  (block ^name <b> ^on <t>)
+  -->
+  (modify 2 ^done yes)
+  (modify 1 ^step idle))
+
+(p clear-mover
+  (phase ^step work)
+  (goal ^put <b> ^onto <t> ^done no)
+  (block ^name <b> ^clear no)
+  (block ^name <o> ^on <b>)
+  -->
+  (modify 4 ^on table)
+  (modify 3 ^clear yes)
+  (write unstacked <o> from <b>))
+
+(p clear-target
+  (phase ^step work)
+  (goal ^put <b> ^onto <t> ^done no)
+  (block ^name <b> ^clear yes)
+  (block ^name <t> ^clear no)
+  (block ^name <o> ^on <t>)
+  -->
+  (modify 5 ^on table)
+  (modify 4 ^clear yes)
+  (write unstacked <o> from <t>))
+
+(p move-block
+  (phase ^step work)
+  (goal ^put <b> ^onto <t> ^done no)
+  (block ^name <b> ^clear yes ^on <from>)
+  (block ^name <t> ^clear yes)
+  -->
+  (modify 3 ^on <t>)
+  (modify 4 ^clear no)
+  (modify 2 ^done yes)
+  (modify 1 ^step fix-clear)
+  (write moved <b> onto <t>))
+
+(p fix-freed-block
+  (phase ^step fix-clear)
+  (block ^name <f> ^clear no)
+  - (block ^on <f>)
+  -->
+  (modify 2 ^clear yes))
+
+(p fix-clear-done
+  (phase ^step fix-clear)
+  -->
+  (modify 1 ^step idle))
+
+(p all-done
+  (phase ^step idle)
+  - (goal ^done no)
+  -->
+  (write all goals satisfied)
+  (halt))
+"""
+
+
+def startup_block(
+    blocks: Sequence[Tuple[str, str]], goals: Sequence[Tuple[str, str]]
+) -> str:
+    """``blocks`` is (name, supports) pairs — ``supports='table'`` for
+    ground blocks; ``goals`` is (block, destination) pairs."""
+    on_top = {below for _name, below in blocks if below != "table"}
+    lines = ["(startup"]
+    for name, below in blocks:
+        clear = "no" if name in on_top else "yes"
+        lines.append(f"  (make block ^name {name} ^on {below} ^clear {clear})")
+    for put, onto in goals:
+        lines.append(f"  (make goal ^put {put} ^onto {onto} ^done no)")
+    lines.append("  (make phase ^step idle))")
+    return "\n".join(lines)
+
+
+def source(
+    blocks: Sequence[Tuple[str, str]] = (("a", "table"), ("b", "a"), ("c", "table")),
+    goals: Sequence[Tuple[str, str]] = (("a", "c"),),
+) -> str:
+    """The blocks-world program with the given initial state and goals."""
+    return _RULES + "\n" + startup_block(blocks, goals)

@@ -1,0 +1,189 @@
+"""A 3x3x3 Rubik's cube model used to *generate* the Rubik OPS5 program.
+
+The OPS5 rules need, for every face turn, the permutation it induces on
+the 54 stickers.  Rather than hand-transcribing the classic tables
+(error-prone), the permutations are derived from a 3-D coordinate
+model: a sticker is (cubie position, facing normal), a face turn is a
+signed 90° rotation applied to the cubies of that face's layer, and
+sticker indices come from a fixed (face, row, col) convention.
+
+Sticker numbering: ``face * 9 + row * 3 + col`` with faces ordered
+``U D L R F B``; rows/cols follow the conventions listed in `_FACE_AXES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Vec = Tuple[int, int, int]
+
+FACES = ("U", "D", "L", "R", "F", "B")
+
+#: Facing normal of each face (x right, y up, z toward viewer).
+FACE_NORMALS: Dict[str, Vec] = {
+    "U": (0, 1, 0),
+    "D": (0, -1, 0),
+    "L": (-1, 0, 0),
+    "R": (1, 0, 0),
+    "F": (0, 0, 1),
+    "B": (0, 0, -1),
+}
+
+#: For each face: (row axis direction, col axis direction) such that
+#: (row, col) = (0, 0) is the face's top-left sticker when looking at it.
+_FACE_AXES: Dict[str, Tuple[Vec, Vec]] = {
+    "U": ((0, 0, 1), (1, 0, 0)),     # rows go from back to front
+    "D": ((0, 0, -1), (1, 0, 0)),
+    "L": ((0, -1, 0), (0, 0, 1)),
+    "R": ((0, -1, 0), (0, 0, -1)),
+    "F": ((0, -1, 0), (1, 0, 0)),
+    "B": ((0, -1, 0), (-1, 0, 0)),
+}
+
+#: Solved-state color of each face (same symbols the OPS5 program uses).
+FACE_COLORS: Dict[str, str] = {
+    "U": "white",
+    "D": "yellow",
+    "L": "orange",
+    "R": "red",
+    "F": "green",
+    "B": "blue",
+}
+
+N_STICKERS = 54
+
+
+def _add(a: Vec, b: Vec) -> Vec:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _scale(a: Vec, k: int) -> Vec:
+    return (a[0] * k, a[1] * k, a[2] * k)
+
+
+def _rotate_about(v: Vec, axis: Vec, quarter_turns: int) -> Vec:
+    """Rotate ``v`` by ``quarter_turns`` * 90° clockwise when viewed from
+    the tip of ``axis`` (right-hand rule gives counter-clockwise, so
+    clockwise = rotation by -90° about the axis)."""
+    x, y, z = v
+    for _ in range(quarter_turns % 4):
+        if axis == (0, 1, 0):       # about +y, cw from above: (x,z) -> (-z? ...)
+            x, y, z = (-z, y, x)
+        elif axis == (0, -1, 0):
+            x, y, z = (z, y, -x)
+        elif axis == (1, 0, 0):     # about +x, cw from the right
+            x, y, z = (x, z, -y)
+        elif axis == (-1, 0, 0):
+            x, y, z = (x, -z, y)
+        elif axis == (0, 0, 1):     # about +z, cw from the front
+            x, y, z = (y, -x, z)
+        elif axis == (0, 0, -1):
+            x, y, z = (-y, x, z)
+        else:  # pragma: no cover - axes are face normals only
+            raise ValueError(f"bad axis {axis}")
+    return (x, y, z)
+
+
+def _sticker_position(face: str, row: int, col: int) -> Tuple[Vec, Vec]:
+    """(cubie position, facing normal) of sticker (face, row, col)."""
+    normal = FACE_NORMALS[face]
+    row_dir, col_dir = _FACE_AXES[face]
+    pos = _add(
+        _add(_scale(normal, 1), _scale(row_dir, -(row - 1))),
+        _scale(col_dir, col - 1),
+    )
+    return pos, normal
+
+
+def _index_of(pos: Vec, normal: Vec) -> int:
+    face = next(f for f, n in FACE_NORMALS.items() if n == normal)
+    row_dir, col_dir = _FACE_AXES[face]
+    # Invert _sticker_position: project pos onto the row/col axes.
+    rel = pos
+    row = 1 - (rel[0] * row_dir[0] + rel[1] * row_dir[1] + rel[2] * row_dir[2])
+    col = 1 + (rel[0] * col_dir[0] + rel[1] * col_dir[1] + rel[2] * col_dir[2])
+    return FACES.index(face) * 9 + row * 3 + col
+
+
+def sticker_index(face: str, row: int, col: int) -> int:
+    return FACES.index(face) * 9 + row * 3 + col
+
+
+def turn_permutation(face: str, quarter_turns: int = 1) -> List[int]:
+    """Permutation ``p`` with ``new_colors[i] = old_colors[p[i]]`` for a
+    clockwise turn of ``face`` repeated ``quarter_turns`` times."""
+    normal = FACE_NORMALS[face]
+    perm = list(range(N_STICKERS))
+    for f in FACES:
+        for row in range(3):
+            for col in range(3):
+                pos, n = _sticker_position(f, row, col)
+                # Stickers on the turning layer: cubies whose coordinate
+                # along the face normal is +1.
+                if pos[0] * normal[0] + pos[1] * normal[1] + pos[2] * normal[2] != 1:
+                    continue
+                new_pos = _rotate_about(pos, normal, quarter_turns)
+                new_n = _rotate_about(n, normal, quarter_turns)
+                perm[_index_of(new_pos, new_n)] = sticker_index(f, row, col)
+    return perm
+
+
+def moved_stickers(face: str) -> List[int]:
+    """Sticker indices displaced by a turn of ``face`` (always 20 + the
+    fixed center = 21 on-layer stickers; the center maps to itself)."""
+    perm = turn_permutation(face, 1)
+    return [i for i, src in enumerate(perm) if src != i]
+
+
+class Cube:
+    """A concrete cube state: ``colors[i]`` is sticker *i*'s color."""
+
+    def __init__(self, colors: Sequence[str] | None = None) -> None:
+        if colors is None:
+            colors = [FACE_COLORS[FACES[i // 9]] for i in range(N_STICKERS)]
+        if len(colors) != N_STICKERS:
+            raise ValueError("a cube has 54 stickers")
+        self.colors = list(colors)
+
+    def turn(self, face: str, quarter_turns: int = 1) -> "Cube":
+        perm = turn_permutation(face, quarter_turns)
+        self.colors = [self.colors[perm[i]] for i in range(N_STICKERS)]
+        return self
+
+    def apply(self, moves: Iterable[Tuple[str, int]]) -> "Cube":
+        for face, qt in moves:
+            self.turn(face, qt)
+        return self
+
+    def is_solved(self) -> bool:
+        return all(
+            self.colors[f * 9 + i] == self.colors[f * 9]
+            for f in range(6)
+            for i in range(9)
+        )
+
+    def copy(self) -> "Cube":
+        return Cube(self.colors)
+
+
+def inverse_moves(moves: Sequence[Tuple[str, int]]) -> List[Tuple[str, int]]:
+    """The move sequence undoing ``moves``."""
+    return [(face, (4 - qt) % 4) for face, qt in reversed(moves)]
+
+
+def scramble_sequence(length: int, seed: int = 1988) -> List[Tuple[str, int]]:
+    """A deterministic pseudo-random scramble (no adjacent repeats)."""
+    # A tiny LCG keeps this reproducible without the random module.
+    state = seed & 0x7FFFFFFF
+    moves: List[Tuple[str, int]] = []
+    last = None
+    while len(moves) < length:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        face = FACES[state % 6]
+        if face == last:
+            continue
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        qt = 1 + state % 3
+        moves.append((face, qt))
+        last = face
+    return moves

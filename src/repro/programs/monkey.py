@@ -1,0 +1,71 @@
+"""Monkey and bananas — the canonical OPS5 teaching program.
+
+The monkey must push the ladder under the bananas, climb it, and grab
+them.  A compact goal/subgoal formulation exercising MEA-style control
+(the first condition element of every rule is the active goal).
+"""
+
+from __future__ import annotations
+
+_SOURCE = """
+(literalize goal status type object)
+(literalize monkey at on holds)
+(literalize thing name at weight)
+
+(p grab-bananas-sets-subgoals
+  (goal ^status active ^type holds ^object bananas)
+  (thing ^name bananas ^at <p>)
+  (monkey ^at <> <p>)
+  - (goal ^status active ^type at ^object ladder)
+  -->
+  (make goal ^status active ^type at ^object ladder))
+
+(p move-ladder
+  (goal ^status active ^type at ^object ladder)
+  (thing ^name bananas ^at <p>)
+  (thing ^name ladder ^at <> <p> ^weight light)
+  (monkey ^holds nil)
+  -->
+  (modify 3 ^at <p>)
+  (modify 4 ^at <p>)
+  (modify 1 ^status satisfied)
+  (write monkey pushes ladder to <p>))
+
+(p climb-ladder
+  (goal ^status active ^type holds ^object bananas)
+  (thing ^name bananas ^at <p>)
+  (thing ^name ladder ^at <p>)
+  (monkey ^at <p> ^on floor)
+  -->
+  (modify 4 ^on ladder)
+  (write monkey climbs ladder))
+
+(p walk-to-ladder
+  (goal ^status active ^type at ^object ladder)
+  (thing ^name ladder ^at <p>)
+  (monkey ^at <> <p>)
+  -->
+  (modify 3 ^at <p>)
+  (write monkey walks to <p>))
+
+(p grab-bananas
+  (goal ^status active ^type holds ^object bananas)
+  (thing ^name bananas ^at <p>)
+  (monkey ^at <p> ^on ladder ^holds nil)
+  -->
+  (modify 3 ^holds bananas)
+  (modify 1 ^status satisfied)
+  (write monkey grabs the bananas)
+  (halt))
+
+(startup
+  (make goal ^status active ^type holds ^object bananas)
+  (make monkey ^at 5-7 ^on floor ^holds nil)
+  (make thing ^name bananas ^at 2-2 ^weight light)
+  (make thing ^name ladder ^at 9-5 ^weight light))
+"""
+
+
+def source() -> str:
+    """The complete monkey-and-bananas program."""
+    return _SOURCE

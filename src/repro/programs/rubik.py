@@ -1,0 +1,212 @@
+"""Rubik — the 70-rule cube program (James Allen's in the paper).
+
+The original source was never distributed; this is a faithful synthetic
+equivalent (see DESIGN.md): a rule-driven cube executor that applies a
+scramble sequence and then its inverse, verifying at the end that the
+cube returned to the solved state — which also proves the generated
+rotation rules are correct.
+
+Why it reproduces the paper's Rubik *match characteristics*:
+
+* every move fires one ``rotate-*`` production whose RHS modifies the
+  20 displaced stickers (40 WM changes per cycle, several thousand per
+  run) — the paper reports 8350 changes;
+* each sticker change cascades through the long (22-CE) chain of the
+  active rotation rule and null-activates the chains of the other
+  rotation rules that reference the same sticker, giving ~40-80 node
+  activations per change with *small memories* (most memories hold one
+  token) — the paper reports 66 activations/change and small
+  hash-bucket scans (Table 4-2: 3.8 tokens);
+* the 40 changes of a cycle cascade independently, which is exactly the
+  high intrinsic parallelism that let the paper reach 12.4× speed-up.
+
+Rule inventory (70 productions, matching the paper's count):
+
+* 18 ``rotate-<face>-<qt>`` (6 faces × quarter-turns 1..3, 22 CEs each)
+* 15 ``watch-<f>-<g>`` face-pair color-coincidence monitors and
+* 30 ``band-*`` row-band monitors: each joins two sticker *groups*
+  (``^pos << ... >>`` disjunctions) on color equality, so every sticker
+  change spawns a handful of independent activations whose hash-table
+  lines are keyed by *color* — the wide, bucket-spread match reaction
+  that hand-written rules with real variable bindings produce.  A
+  permanently-present ``(never)`` WME behind a negated CE keeps them
+  from ever firing, so they shape match load without touching control
+  flow.
+* 6  ``solved-<face>`` uniform-face checks
+* 1  ``all-solved`` final report
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .cube import (
+    Cube,
+    FACES,
+    FACE_COLORS,
+    inverse_moves,
+    moved_stickers,
+    scramble_sequence,
+    turn_permutation,
+)
+
+DEFAULT_MOVES = 12
+
+
+def rotation_production(face: str, quarter_turns: int) -> str:
+    """One ``rotate-<face>-<qt>`` production (22 CEs, 21 RHS actions).
+
+    The sticker CEs come *first* and the volatile trigger CEs —
+    ``(move)`` and ``(ctrl)`` — come *last*: standard OPS5 practice
+    (most-frequently-changing conditions at the bottom of the chain),
+    so advancing ``ctrl`` between moves touches only the bottom join
+    instead of tearing down and serially rebuilding all 21 joins.
+    """
+    perm = turn_permutation(face, quarter_turns)
+    moved = moved_stickers(face)
+    lines = [f"(p rotate-{face}-{quarter_turns}"]
+    for pos in moved:
+        lines.append(f"  (sticker ^pos {pos} ^color <c{pos}>)")
+    lines.append(f"  (move ^seq <n> ^face {face} ^turns {quarter_turns})")
+    lines.append("  (ctrl ^next <n>)")
+    lines.append("  -->")
+    # CE k holds the sticker at `moved[k-1]`; its new color comes from
+    # the sticker the permutation maps onto it.
+    for idx, pos in enumerate(moved):
+        ce_number = idx + 1
+        src = perm[pos]
+        lines.append(f"  (modify {ce_number} ^color <c{src}>)")
+    ctrl_ce = len(moved) + 2
+    lines.append(f"  (modify {ctrl_ce} ^next (compute <n> + 1)))")
+    return "\n".join(lines)
+
+
+def _group_disjunction(positions: Sequence[int]) -> str:
+    return "<< " + " ".join(str(p) for p in positions) + " >>"
+
+
+def watch_production(name: str, group_a: Sequence[int], group_b: Sequence[int]) -> str:
+    """A never-firing monitor joining two sticker groups on color equality.
+
+    The color-equality join means the hash key is the color value, so
+    these rules place their (very real) match traffic on per-color
+    hash-table lines.  ``(never)`` is asserted at startup, so the
+    negated CE blocks the terminal forever.
+    """
+    return (
+        f"(p {name}\n"
+        f"  (sticker ^pos {_group_disjunction(group_a)} ^color <c>)\n"
+        f"  (sticker ^pos {_group_disjunction(group_b)} ^color <c>)\n"
+        f"  - (never)\n"
+        f"  -->\n"
+        f"  (make off ^face none ^pos 0))"
+    )
+
+
+def monitor_productions() -> List[str]:
+    """15 face-pair monitors + 30 row-band monitors (45 productions).
+
+    Face-pair monitors carry 9-token side memories: under linear (vs1)
+    memories every probe scans all of them while hash memories cut the
+    probe to the ~1.5 tokens sharing the color key — and the per-color
+    buckets stay short enough that the parallel line holds match the
+    paper's Rubik profile (high intrinsic parallelism, Table 4-5/4-6).
+    """
+    out: List[str] = []
+    face_positions = {f: [FACES.index(f) * 9 + k for k in range(9)] for f in FACES}
+    for i in range(6):
+        for j in range(i + 1, 6):
+            fa, fb = FACES[i], FACES[j]
+            out.append(
+                watch_production(f"watch-{fa}-{fb}", face_positions[fa], face_positions[fb])
+            )
+    # Row bands: row r of one face vs row r' of another, walked
+    # deterministically to yield 30 distinct band monitors.
+    bands = []
+    for fi in range(6):
+        for r in range(3):
+            bands.append([fi * 9 + r * 3 + c for c in range(3)])
+    k = 0
+    for step in (1, 4, 7):
+        for i in range(len(bands)):
+            j = (i + step) % len(bands)
+            if k >= 30:
+                break
+            out.append(watch_production(f"band-{k}", bands[i], bands[j]))
+            k += 1
+        if k >= 30:
+            break
+    return out
+
+
+def solved_face_production(face: str) -> str:
+    face_idx = FACES.index(face)
+    lines = [f"(p solved-{face}", "  (ctrl ^next <n> ^total { <t> < <n> })"]
+    lines.append(f"  (sticker ^pos {face_idx * 9} ^color <c>)")
+    for i in range(1, 9):
+        lines.append(f"  (sticker ^pos {face_idx * 9 + i} ^color <c>)")
+    lines.append("  -->")
+    lines.append(f"  (make solved ^face {face}))")
+    return "\n".join(lines)
+
+
+def all_solved_production() -> str:
+    lines = ["(p all-solved"]
+    for face in FACES:
+        lines.append(f"  (solved ^face {face})")
+    lines.append("  -->")
+    lines.append("  (write cube solved)")
+    lines.append("  (halt))")
+    return "\n".join(lines)
+
+
+def startup_block(moves: Sequence[Tuple[str, int]]) -> str:
+    """Initial working memory: solved stickers + the move agenda."""
+    lines = ["(startup"]
+    for i in range(54):
+        color = FACE_COLORS[FACES[i // 9]]
+        lines.append(f"  (make sticker ^pos {i} ^color {color})")
+    for seq, (face, qt) in enumerate(moves, start=1):
+        lines.append(f"  (make move ^seq {seq} ^face {face} ^turns {qt})")
+    lines.append("  (make never)")
+    lines.append(f"  (make ctrl ^next 1 ^total {len(moves)}))")
+    return "\n".join(lines)
+
+
+def source(n_moves: int = DEFAULT_MOVES, seed: int = 1988) -> str:
+    """The complete Rubik OPS5 program.
+
+    ``n_moves`` scramble moves are applied, then their inverses; the
+    run ends with the ``all-solved`` production writing "cube solved".
+    """
+    scramble = scramble_sequence(n_moves, seed=seed)
+    agenda = scramble + inverse_moves(scramble)
+    parts: List[str] = [
+        "(literalize sticker pos color)",
+        "(literalize move seq face turns)",
+        "(literalize ctrl next total)",
+        "(literalize solved face)",
+        "(literalize off face pos)",
+        "(literalize never)",
+    ]
+    for face in FACES:
+        for qt in (1, 2, 3):
+            parts.append(rotation_production(face, qt))
+    parts.extend(monitor_productions())
+    for face in FACES:
+        parts.append(solved_face_production(face))
+    parts.append(all_solved_production())
+    parts.append(startup_block(agenda))
+    return "\n\n".join(parts)
+
+
+def n_rules() -> int:
+    """Number of productions in the generated program (the paper's 70)."""
+    return 18 + 45 + 6 + 1  # = 70, matching the paper
+
+
+def expected_final_state(n_moves: int = DEFAULT_MOVES, seed: int = 1988) -> bool:
+    """Sanity oracle: applying scramble+inverse must solve the cube."""
+    scramble = scramble_sequence(n_moves, seed=seed)
+    cube = Cube().apply(scramble).apply(inverse_moves(scramble))
+    return cube.is_solved()

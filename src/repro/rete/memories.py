@@ -1,0 +1,206 @@
+"""Token memories: the paper's vs1 (linear lists) and vs2 (global hash
+tables) designs.
+
+Both designs expose the same interface so the matcher and the node code
+are memory-agnostic:
+
+* ``insert(node_id, side, key, item)``
+* ``remove(node_id, side, key, token_key)`` → ``(item | None, examined)``
+* ``lookup_opposite(node_id, side, key)`` → ``(items, examined)``
+* ``side_size(node_id, side)`` — total tokens stored for that node/side
+  (used for the paper's "opposite memory non-empty" statistic guard)
+* ``line_of(node_id, key)`` — the hash-table *line* (pair of
+  corresponding left/right buckets) an operation touches; this is what
+  the parallel implementations lock.
+
+``side`` is ``'L'`` or ``'R'``.  ``key`` is the tuple of values of the
+equality-tested variables (empty for cross-product nodes — which is
+precisely why cross-product productions pile into a single line and
+serialize, the Tourney phenomenon of §4.2).
+
+Items must expose a ``.key`` attribute (a tuple of WME timetags) used to
+locate them for deletion: plain :class:`~repro.rete.token.Token` for
+join memories, :class:`NotEntry` for negated-node left memories.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from .token import Token
+
+LEFT = "L"
+RIGHT = "R"
+
+
+class NotEntry:
+    """A left token of a negated node together with its match count."""
+
+    __slots__ = ("token", "count", "key")
+
+    def __init__(self, token: Token, count: int = 0) -> None:
+        self.token = token
+        self.count = count
+        self.key = token.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NotEntry({self.token}, count={self.count})"
+
+
+def stable_hash(value: Hashable) -> int:
+    """A deterministic (cross-process, cross-run) hash for key tuples.
+
+    Python's built-in ``hash`` of strings is salted per process, which
+    would make hash-line assignment — and therefore simulated lock
+    contention — irreproducible.
+    """
+    if isinstance(value, tuple):
+        h = 0x811C9DC5
+        for item in value:
+            h = (h * 0x01000193) ^ (stable_hash(item) & 0xFFFFFFFF)
+            h &= 0xFFFFFFFF
+        return h
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bool):  # pragma: no cover - bools unused in OPS5
+        return int(value)
+    if isinstance(value, int):
+        return value & 0xFFFFFFFF
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode("ascii"))
+    if value is None:
+        return 0x9E3779B9
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class LinearMemorySystem:
+    """vs1: each node side keeps its tokens in one unordered linear list.
+
+    Every opposite-memory probe examines the *entire* opposite list;
+    every delete scans the same-side list to find its victim.  These
+    scan lengths are exactly the counts reported in Tables 4-2/4-3.
+    """
+
+    kind = "linear"
+
+    def __init__(self) -> None:
+        self._mem: Dict[Tuple[int, str], List] = {}
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    def insert(self, node_id: int, side: str, key: tuple, item) -> bool:
+        self._mem.setdefault((node_id, side), []).append(item)
+        return True
+
+    def remove(self, node_id: int, side: str, key: tuple, token_key: tuple):
+        bucket = self._mem.get((node_id, side))
+        if not bucket:
+            return None, 0
+        for i, item in enumerate(bucket):
+            if item.key == token_key:
+                bucket.pop(i)
+                return item, i + 1
+        return None, len(bucket)
+
+    def lookup_opposite(self, node_id: int, side: str, key: tuple):
+        other = RIGHT if side == LEFT else LEFT
+        bucket = self._mem.get((node_id, other), ())
+        return bucket, len(bucket)
+
+    def side_size(self, node_id: int, side: str) -> int:
+        return len(self._mem.get((node_id, side), ()))
+
+    def items(self, node_id: int, side: str) -> Iterator:
+        return iter(self._mem.get((node_id, side), ()))
+
+    def line_of(self, node_id: int, key: tuple) -> int:
+        # Linear memories have no hash lines; per-node pseudo-lines keep
+        # the trace machinery uniform.
+        return node_id
+
+    def total_tokens(self) -> int:
+        return sum(len(v) for v in self._mem.values())
+
+
+class HashMemorySystem:
+    """vs2: two global hash tables (left and right) for the whole network.
+
+    Buckets are keyed by ``(node_id, eq-values)``; a *line* is the pair
+    of corresponding left/right buckets, obtained by hashing the bucket
+    key into ``n_lines`` slots — multiple keys can collide into one
+    line, exactly like the fixed-size table of the C implementation.
+    """
+
+    kind = "hash"
+
+    def __init__(self, n_lines: int = 1024) -> None:
+        if n_lines < 1:
+            raise ValueError("n_lines must be >= 1")
+        self.n_lines = n_lines
+        self._left: Dict[Tuple[int, tuple], List] = {}
+        self._right: Dict[Tuple[int, tuple], List] = {}
+        self._side_counts: Dict[Tuple[int, str], int] = {}
+
+    def clear(self) -> None:
+        self._left.clear()
+        self._right.clear()
+        self._side_counts.clear()
+
+    def _table(self, side: str) -> Dict[Tuple[int, tuple], List]:
+        return self._left if side == LEFT else self._right
+
+    def insert(self, node_id: int, side: str, key: tuple, item) -> bool:
+        self._table(side).setdefault((node_id, key), []).append(item)
+        sk = (node_id, side)
+        self._side_counts[sk] = self._side_counts.get(sk, 0) + 1
+        return True
+
+    def remove(self, node_id: int, side: str, key: tuple, token_key: tuple):
+        table = self._table(side)
+        bucket = table.get((node_id, key))
+        if not bucket:
+            return None, 0
+        for i, item in enumerate(bucket):
+            if item.key == token_key:
+                bucket.pop(i)
+                if not bucket:
+                    del table[(node_id, key)]
+                sk = (node_id, side)
+                self._side_counts[sk] -= 1
+                return item, i + 1
+        return None, len(bucket)
+
+    def lookup_opposite(self, node_id: int, side: str, key: tuple):
+        other = RIGHT if side == LEFT else LEFT
+        bucket = self._table(other).get((node_id, key), ())
+        return bucket, len(bucket)
+
+    def side_size(self, node_id: int, side: str) -> int:
+        return self._side_counts.get((node_id, side), 0)
+
+    def items(self, node_id: int, side: str) -> Iterator:
+        table = self._table(side)
+        for (nid, _key), bucket in table.items():
+            if nid == node_id:
+                yield from bucket
+
+    def line_of(self, node_id: int, key: tuple) -> int:
+        return stable_hash((node_id, key)) % self.n_lines
+
+    def total_tokens(self) -> int:
+        return sum(self._side_counts.values())
+
+    def bucket_sizes(self, side: str) -> List[int]:
+        """Chain lengths per bucket — used by the hash-size ablation."""
+        return [len(b) for b in self._table(side).values()]
+
+
+def make_memory(kind: str, n_lines: int = 1024):
+    """Factory: ``kind`` is ``'linear'`` (vs1) or ``'hash'`` (vs2)."""
+    if kind == "linear":
+        return LinearMemorySystem()
+    if kind == "hash":
+        return HashMemorySystem(n_lines=n_lines)
+    raise ValueError(f"unknown memory kind {kind!r}")

@@ -1,0 +1,55 @@
+"""Tokens — the objects that flow through the Rete network.
+
+A token is a tag (``+`` add / ``-`` delete) plus an ordered list of WMEs
+matching a prefix of a production's *positive* condition elements.  As
+in the paper, a beta token is identified by the sequence of timetags of
+its WMEs: a ``-`` token deletes the stored ``+`` token with the same
+timetag sequence at the same node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..ops5.wme import WME
+
+ADD = 1
+DELETE = -1
+
+
+@dataclass(frozen=True)
+class Token:
+    """An ordered list of WMEs (the tag travels separately as ``sign``).
+
+    ``key`` — the tuple of timetags — is what memories use to locate a
+    token for deletion; it is precomputed because it is consulted on
+    every memory operation.
+    """
+
+    wmes: Tuple[WME, ...]
+    key: Tuple[int, ...]
+
+    @staticmethod
+    def of(wmes: Tuple[WME, ...]) -> "Token":
+        return Token(wmes=wmes, key=tuple(w.timetag for w in wmes))
+
+    @staticmethod
+    def single(wme: WME) -> "Token":
+        return Token(wmes=(wme,), key=(wme.timetag,))
+
+    def extend(self, wme: WME) -> "Token":
+        return Token(wmes=self.wmes + (wme,), key=self.key + (wme.timetag,))
+
+    def __len__(self) -> int:
+        return len(self.wmes)
+
+    def __str__(self) -> str:
+        return "[" + " ".join(str(w.timetag) for w in self.wmes) + "]"
+
+
+#: The empty token that seeds the left input of a first two-input node
+#: when a production's first CE is negated is never needed in this
+#: implementation (grammar forbids a leading negated CE), but single-CE
+#: productions still flow 1-WME tokens to their terminal node.
+EMPTY = Token(wmes=(), key=())

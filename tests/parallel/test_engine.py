@@ -1,0 +1,102 @@
+"""Integration tests for the threaded parallel match engine.
+
+Correctness criterion (DESIGN.md): identical program behaviour to the
+sequential matcher under real thread interleavings, for every worker
+count, queue count, and lock scheme.
+"""
+
+import pytest
+
+from repro.ops5.interpreter import Interpreter
+from repro.ops5.parser import parse_program
+from repro.parallel.engine import ParallelMatcher
+from repro.programs import blocks, tourney
+from repro.rete.network import ReteNetwork
+from tests.conftest import FIND_COLORED_BLOCK
+
+
+def parallel_interp(source: str, **kw) -> Interpreter:
+    program = parse_program(source)
+    network = ReteNetwork.compile(program)
+    matcher = ParallelMatcher(network, **kw)
+    return Interpreter(program, matcher=matcher)
+
+
+class TestAgainstSequential:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_figure_2_1(self, n_workers):
+        sequential = Interpreter(FIND_COLORED_BLOCK).run()
+        with parallel_interp(FIND_COLORED_BLOCK, n_workers=n_workers) as interp:
+            result = interp.run()
+        assert sorted(result.output) == sorted(sequential.output)
+
+    @pytest.mark.parametrize("n_queues", [1, 3])
+    @pytest.mark.parametrize("lock_scheme", ["simple", "mrsw"])
+    def test_blocks_world(self, n_queues, lock_scheme):
+        src = blocks.source(
+            blocks=(("a", "table"), ("b", "a"), ("c", "b"), ("d", "table")),
+            goals=(("c", "d"), ("a", "c")),
+        )
+        sequential = Interpreter(src).run()
+        with parallel_interp(
+            src, n_workers=3, n_queues=n_queues, lock_scheme=lock_scheme
+        ) as interp:
+            result = interp.run()
+        assert result.output == sequential.output
+        assert result.halted == sequential.halted
+
+    def test_tourney_small(self):
+        src = tourney.source(n_teams=6, n_rounds=7)
+        sequential = Interpreter(src).run(max_cycles=2000)
+        with parallel_interp(src, n_workers=3, n_queues=2) as interp:
+            result = interp.run(max_cycles=2000)
+        assert result.output[-1] == sequential.output[-1] == "scheduled 15 matches"
+
+
+class TestEngineMechanics:
+    def test_stats_aggregate_across_workers(self):
+        with parallel_interp(FIND_COLORED_BLOCK, n_workers=2) as interp:
+            interp.run()
+            stats = interp.matcher.stats
+        assert stats.wme_changes == 8
+        assert stats.node_activations > 0
+
+    def test_queue_and_line_lock_stats_exposed(self):
+        with parallel_interp(FIND_COLORED_BLOCK, n_workers=2) as interp:
+            interp.run()
+            assert interp.matcher.queue_lock_stats().acquisitions > 0
+            assert interp.matcher.line_lock_stats().acquisitions > 0
+
+    def test_close_idempotent(self):
+        interp = parallel_interp(FIND_COLORED_BLOCK, n_workers=1)
+        interp.run()
+        interp.close()
+        interp.close()
+
+    def test_process_changes_after_close_raises(self):
+        interp = parallel_interp(FIND_COLORED_BLOCK, n_workers=1)
+        interp.close()
+        with pytest.raises(RuntimeError):
+            interp.matcher.process_changes([])
+
+    def test_requires_at_least_one_worker(self):
+        network = ReteNetwork.compile(parse_program("(p r (a) --> (halt))"))
+        with pytest.raises(ValueError):
+            ParallelMatcher(network, n_workers=0)
+
+    def test_no_pending_conjugate_deletes_after_batches(self):
+        with parallel_interp(FIND_COLORED_BLOCK, n_workers=3, n_queues=2) as interp:
+            interp.run()
+            assert interp.matcher.memory.pending_deletes == 0
+
+    def test_worker_failure_propagates(self):
+        # Force a failure by corrupting the network after construction.
+        program = parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        network = ReteNetwork.compile(program)
+        matcher = ParallelMatcher(network, n_workers=1)
+        join = network.two_input_nodes()[0]
+        join.tests_fn = None  # worker will raise TypeError
+        interp = Interpreter(program, matcher=matcher)
+        with pytest.raises(RuntimeError):
+            interp.add_wme("a", {"x": 1})
+            interp.add_wme("b", {"y": 1})

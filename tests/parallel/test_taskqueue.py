@@ -1,0 +1,110 @@
+"""Unit tests for task queues and TaskCount."""
+
+import threading
+
+import pytest
+
+from repro.parallel.taskqueue import TaskCount, TaskQueueSet
+
+
+class TestTaskCount:
+    def test_increment_decrement(self):
+        tc = TaskCount()
+        tc.increment()
+        tc.increment(2)
+        assert tc.value == 3
+        assert tc.decrement() == 2
+        assert not tc.zero
+        tc.decrement(2)
+        assert tc.zero
+
+    def test_negative_raises(self):
+        tc = TaskCount()
+        with pytest.raises(RuntimeError):
+            tc.decrement()
+
+    def test_thread_safety(self):
+        tc = TaskCount()
+
+        def work():
+            for _ in range(5000):
+                tc.increment()
+                tc.decrement()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tc.zero
+
+
+class TestTaskQueueSet:
+    def test_lifo_order(self):
+        q = TaskQueueSet(1)
+        q.push("a")
+        q.push("b")
+        assert q.pop() == "b"
+        assert q.pop() == "a"
+        assert q.pop() is None
+
+    def test_home_queue_routing(self):
+        q = TaskQueueSet(4)
+        q.push("x", home=2)
+        assert len(q) == 1
+        # Popping with a different home scans and finds it.
+        assert q.pop(home=0) == "x"
+
+    def test_home_preferred(self):
+        q = TaskQueueSet(2)
+        q.push("mine", home=1)
+        q.push("other", home=0)
+        assert q.pop(home=1) == "mine"
+
+    def test_home_wraps(self):
+        q = TaskQueueSet(3)
+        q.push("a", home=7)   # 7 % 3 == 1
+        assert q.pop(home=1) == "a"
+
+    def test_empty_returns_none(self):
+        assert TaskQueueSet(3).pop() is None
+
+    def test_needs_at_least_one_queue(self):
+        with pytest.raises(ValueError):
+            TaskQueueSet(0)
+
+    def test_concurrent_push_pop_conserves_items(self):
+        q = TaskQueueSet(2)
+        popped = []
+        lock = threading.Lock()
+
+        def producer(base):
+            for i in range(500):
+                q.push(base + i, home=i)
+
+        def consumer():
+            got = []
+            while len(got) < 500:
+                item = q.pop(home=len(got))
+                if item is not None:
+                    got.append(item)
+            with lock:
+                popped.extend(got)
+
+        threads = [
+            threading.Thread(target=producer, args=(0,)),
+            threading.Thread(target=producer, args=(1000,)),
+            threading.Thread(target=consumer),
+            threading.Thread(target=consumer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(popped) == sorted(list(range(500)) + list(range(1000, 1500)))
+
+    def test_lock_stats_counted(self):
+        q = TaskQueueSet(2)
+        q.push("a")
+        q.pop()
+        assert q.lock_stats().acquisitions >= 2

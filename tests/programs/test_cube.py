@@ -1,0 +1,108 @@
+"""Unit and property tests for the cube permutation model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.programs.cube import (
+    Cube,
+    FACES,
+    FACE_COLORS,
+    N_STICKERS,
+    inverse_moves,
+    moved_stickers,
+    scramble_sequence,
+    sticker_index,
+    turn_permutation,
+)
+
+
+class TestPermutations:
+    @pytest.mark.parametrize("face", FACES)
+    def test_turn_is_permutation(self, face):
+        perm = turn_permutation(face)
+        assert sorted(perm) == list(range(N_STICKERS))
+
+    @pytest.mark.parametrize("face", FACES)
+    def test_turn_has_order_four(self, face):
+        cube = Cube()
+        for _ in range(4):
+            cube.turn(face)
+        assert cube.is_solved()
+
+    @pytest.mark.parametrize("face", FACES)
+    def test_single_turn_unsolves(self, face):
+        assert not Cube().turn(face).is_solved()
+
+    @pytest.mark.parametrize("face", FACES)
+    def test_twenty_stickers_move(self, face):
+        assert len(moved_stickers(face)) == 20
+
+    @pytest.mark.parametrize("face", FACES)
+    def test_center_fixed(self, face):
+        perm = turn_permutation(face)
+        for f in range(6):
+            center = f * 9 + 4
+            assert perm[center] == center
+
+    @pytest.mark.parametrize("face", FACES)
+    @pytest.mark.parametrize("qt", [2, 3])
+    def test_multi_quarter_composition(self, face, qt):
+        p1 = turn_permutation(face, 1)
+        composed = list(range(N_STICKERS))
+        for _ in range(qt):
+            composed = [composed[p1[i]] for i in range(N_STICKERS)]
+        assert composed == turn_permutation(face, qt)
+
+    def test_distinct_faces_distinct_perms(self):
+        perms = {tuple(turn_permutation(f)) for f in FACES}
+        assert len(perms) == 6
+
+
+class TestCube:
+    def test_solved_initially(self):
+        assert Cube().is_solved()
+
+    def test_copy_independent(self):
+        a = Cube()
+        b = a.copy().turn("U")
+        assert a.is_solved() and not b.is_solved()
+
+    def test_sticker_count_validation(self):
+        with pytest.raises(ValueError):
+            Cube(["white"] * 10)
+
+    def test_face_colors_uniform_when_solved(self):
+        cube = Cube()
+        for i, face in enumerate(FACES):
+            colors = {cube.colors[i * 9 + k] for k in range(9)}
+            assert colors == {FACE_COLORS[face]}
+
+    def test_sticker_index(self):
+        assert sticker_index("U", 0, 0) == 0
+        assert sticker_index("D", 2, 2) == 17
+        assert sticker_index("B", 1, 1) == 5 * 9 + 4
+
+
+class TestSequences:
+    def test_scramble_deterministic(self):
+        assert scramble_sequence(10, seed=42) == scramble_sequence(10, seed=42)
+        assert scramble_sequence(10, seed=1) != scramble_sequence(10, seed=2)
+
+    def test_scramble_no_adjacent_repeats(self):
+        seq = scramble_sequence(50)
+        for (f1, _), (f2, _) in zip(seq, seq[1:]):
+            assert f1 != f2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 10000))
+    def test_scramble_plus_inverse_solves(self, length, seed):
+        seq = scramble_sequence(length, seed=seed)
+        cube = Cube().apply(seq).apply(inverse_moves(seq))
+        assert cube.is_solved()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(FACES), st.integers(1, 3)), max_size=10))
+    def test_inverse_is_involution_on_state(self, moves):
+        once = Cube().apply(moves)
+        back = once.copy().apply(inverse_moves(moves))
+        assert back.is_solved()

@@ -1,0 +1,69 @@
+"""Tests for network introspection and Graphviz export."""
+
+import pytest
+
+from repro.ops5.parser import parse_program
+from repro.rete.explain import describe_network, sharing_report, to_dot
+from repro.rete.network import ReteNetwork
+from tests.conftest import FIGURE_2_2
+
+
+@pytest.fixture
+def net():
+    return ReteNetwork.compile(parse_program(FIGURE_2_2))
+
+
+class TestDescribe:
+    def test_mentions_counts(self, net):
+        text = describe_network(net)
+        assert "productions: 2" in text
+        assert "terminal=2" in text
+
+    def test_reports_shared_alpha(self, net):
+        # The (C2 ^attr1 15) chain is shared between p1 and p2.
+        text = describe_network(net)
+        assert "shared alpha terminals: 1" in text
+
+    def test_cross_product_detection(self):
+        net = ReteNetwork.compile(
+            parse_program("(p r (a ^x <v>) (b ^y <w>) --> (halt))")
+        )
+        assert "cross-product joins (empty hash key): 1" in describe_network(net)
+
+
+class TestSharing:
+    def test_figure_2_2_sharing(self, net):
+        report = sharing_report(net)
+        # p1+p2 declare 3 constant tests (attr2=12, attr1=15 twice);
+        # sharing collapses the duplicated (C2 ^attr1 15).
+        assert report["tests_without_sharing"] == 3
+        assert report["constant_nodes"] == 2
+        assert report["sharing_factor"] == 1.5
+
+    def test_heavy_sharing_in_weaver(self):
+        from repro.programs import weaver
+
+        net = ReteNetwork.compile(parse_program(weaver.source(grid=7, n_nets=1)))
+        report = sharing_report(net)
+        # 637 generated rules share band/class tests massively.
+        assert report["sharing_factor"] > 3.0
+
+
+class TestDot:
+    def test_valid_structure(self, net):
+        dot = to_dot(net, title="fig22")
+        assert dot.startswith('digraph "fig22" {')
+        assert dot.rstrip().endswith("}")
+        assert "root" in dot
+        assert dot.count("->") > 5
+
+    def test_terminals_labeled_by_production(self, net):
+        dot = to_dot(net)
+        assert '"p1"' in dot and '"p2"' in dot
+
+    def test_not_node_shape(self, net):
+        assert "shape=diamond" in to_dot(net)
+
+    def test_balanced_braces(self, net):
+        dot = to_dot(net)
+        assert dot.count("{") == dot.count("}")

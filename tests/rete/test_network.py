@@ -1,0 +1,147 @@
+"""Unit tests for the Rete network compiler, including the structural
+reproduction of the paper's Figure 2-2."""
+
+import pytest
+
+from repro.ops5.errors import CompileError
+from repro.ops5.parser import parse_program, parse_production
+from repro.ops5.wme import WME
+from repro.rete.network import ReteNetwork
+from repro.rete.nodes import JoinNode, NotNode, TerminalNode
+from tests.conftest import FIGURE_2_2
+
+
+def compile_src(src: str, mode: str = "compiled") -> ReteNetwork:
+    return ReteNetwork.compile(parse_program(src), mode=mode)
+
+
+class TestFigure22:
+    """The network of Figure 2-2: p1 (3 CEs, one negated) and p2 (2 CEs)."""
+
+    @pytest.fixture
+    def net(self) -> ReteNetwork:
+        return compile_src(FIGURE_2_2)
+
+    def test_node_counts(self, net):
+        counts = net.node_counts()
+        # Constant tests: class dispatch is implicit; the figure's
+        # attr1=15 (C2), attr2=12 (C1) tests become constant-test nodes.
+        assert counts["terminal"] == 2
+        # p1: join(C1,C2) + not(C3); p2: join(C2,C4).
+        assert counts["join"] == 2
+        assert counts["not"] == 1
+
+    def test_constant_test_sharing(self, net):
+        # p1 and p2 both need (C2 ^attr1 15): one shared constant node.
+        descs = [n.desc for n in net.constant_nodes]
+        assert descs.count(("const", "attr1", "=", 15)) == 1
+
+    def test_alpha_terminal_sharing(self, net):
+        # The shared C2 chain ends in one shared alpha terminal feeding
+        # both p1's and p2's joins.
+        c2_terminals = [
+            t for t in net.alpha_terminals
+            if len(t.successors) >= 2
+        ]
+        assert len(c2_terminals) == 1
+
+    def test_dispatch_c2_wme(self, net):
+        wme = WME.make("C2", {"attr1": 15, "attr2": 7}, 1)
+        hits, n_tests = net.alpha_dispatch(wme)
+        assert len(hits) == 1
+        assert n_tests >= 2  # class + attr1=15
+
+    def test_dispatch_c2_wme_failing_test(self, net):
+        wme = WME.make("C2", {"attr1": 99}, 1)
+        hits, _ = net.alpha_dispatch(wme)
+        assert hits == []
+
+    def test_dispatch_unknown_class(self, net):
+        hits, n_tests = net.alpha_dispatch(WME.make("C9", {}, 1))
+        assert hits == []
+        assert n_tests == 1  # just the class test
+
+    def test_negated_ce_becomes_not_node(self, net):
+        not_nodes = [n for n in net.beta_nodes if isinstance(n, NotNode)]
+        assert len(not_nodes) == 1
+        # Its variable test links C3.attr1 to the C1 binding of <x>.
+        assert not_nodes[0].eq_descs == (("attr1", "=", 0, "attr1"),)
+
+
+class TestCompilation:
+    def test_join_tests_direction(self):
+        net = compile_src("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        join = next(n for n in net.beta_nodes if isinstance(n, JoinNode))
+        assert join.tests == (("y", "=", 0, "x"),)
+        assert join.eq_descs == join.tests
+
+    def test_non_eq_join_test_not_in_key(self):
+        net = compile_src("(p r (a ^x <v>) (b ^y > <v>) --> (halt))")
+        join = next(n for n in net.beta_nodes if isinstance(n, JoinNode))
+        assert join.tests == (("y", ">", 0, "x"),)
+        assert join.eq_descs == ()
+
+    def test_intra_element_test(self):
+        net = compile_src("(p r (a ^x <v> ^y <v>) --> (halt))")
+        descs = [n.desc for n in net.constant_nodes]
+        assert ("intra", "y", "=", "x") in descs
+
+    def test_cross_product_join_has_empty_key(self):
+        net = compile_src("(p r (a ^x <v>) (b ^y <w>) --> (halt))")
+        join = next(n for n in net.beta_nodes if isinstance(n, JoinNode))
+        assert join.eq_descs == ()
+        assert join.tests == ()
+
+    def test_single_ce_production_terminal_from_alpha(self):
+        net = compile_src("(p r (a ^x 1) --> (halt))")
+        term = net.terminals["r"]
+        feeders = [
+            t for t in net.alpha_terminals
+            if any(node is term for node, _side in t.successors)
+        ]
+        assert len(feeders) == 1
+
+    def test_join_positions_skip_negated(self):
+        net = compile_src(
+            "(p r (a ^x <v>) - (n ^q <v>) (b ^y <v>) --> (halt))"
+        )
+        joins = [n for n in net.beta_nodes if isinstance(n, JoinNode)]
+        # b's test must reference token position 0 (the 'a' wme), not 1.
+        assert joins[0].tests == (("y", "=", 0, "x"),)
+
+    def test_predicate_on_unbound_variable_rejected(self):
+        with pytest.raises(CompileError):
+            compile_src("(p r (a ^x > <nowhere>) --> (halt))")
+
+    def test_duplicate_production_rejected(self):
+        net = compile_src("(p r (a) --> (halt))")
+        with pytest.raises(CompileError):
+            net.add_production(parse_production("(p r (b) --> (halt))"))
+
+    def test_variable_rebinding_uses_first(self):
+        # <v> binds in CE1; its occurrence in CE2 is a join test, and in
+        # CE3 another join test against the *first* binding.
+        net = compile_src("(p r (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))")
+        joins = [n for n in net.beta_nodes if isinstance(n, JoinNode)]
+        assert joins[1].tests == (("z", "=", 0, "x"),)
+
+    def test_disjunction_is_alpha_test(self):
+        net = compile_src("(p r (a ^c << red blue >>) --> (halt))")
+        descs = [n.desc for n in net.constant_nodes]
+        assert ("disj", "c", frozenset({"red", "blue"})) in descs
+
+    def test_mode_recorded(self):
+        assert compile_src("(p r (a) --> (halt))", mode="interpreted").mode == "interpreted"
+
+    def test_two_input_nodes_listing(self):
+        net = compile_src(FIGURE_2_2)
+        assert len(net.two_input_nodes()) == 3
+
+    def test_no_beta_sharing_between_productions(self):
+        # Footnote 6: memory nodes are not shared; identical prefixes
+        # still compile to distinct join nodes.
+        net = compile_src(
+            "(p r1 (a ^x <v>) (b ^y <v>) --> (halt))"
+            "(p r2 (a ^x <v>) (b ^y <v>) --> (halt))"
+        )
+        assert net.node_counts()["join"] == 2

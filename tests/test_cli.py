@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = """
+(p hello (greeting ^to <who>) --> (write hello <who>) (halt))
+(startup (make greeting ^to world))
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "hello.ops5"
+    path.write_text(PROGRAM, encoding="utf-8")
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "hello world" in out
+
+    def test_run_stats_to_stderr(self, program_file, capsys):
+        main(["run", program_file, "--stats"])
+        err = capsys.readouterr().err
+        assert "wm_changes=" in err
+        assert "activations=" in err
+
+    def test_run_trace_lists_firings(self, program_file, capsys):
+        main(["run", program_file, "--trace"])
+        err = capsys.readouterr().err
+        assert "hello" in err
+
+    def test_run_mea_and_linear(self, program_file, capsys):
+        assert main(["run", program_file, "--strategy", "mea",
+                     "--memory", "linear", "--mode", "interpreted"]) == 0
+        assert "hello world" in capsys.readouterr().out
+
+    def test_max_cycles(self, tmp_path, capsys):
+        path = tmp_path / "loop.ops5"
+        path.write_text(
+            "(p l (a ^n <n>) --> (modify 1 ^n (compute <n> + 1)) (write tick))"
+            "(startup (make a ^n 0))",
+            encoding="utf-8",
+        )
+        main(["run", str(path), "--max-cycles", "3"])
+        out = capsys.readouterr().out
+        assert out.count("tick") == 3
+
+
+class TestNetwork:
+    def test_counts(self, program_file, capsys):
+        assert main(["network", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "productions:        1" in out
+        assert "terminal:" in out
+
+    def test_verbose_lists_nodes(self, tmp_path, capsys):
+        path = tmp_path / "two.ops5"
+        path.write_text("(p r (a ^x <v>) (b ^y <v>) --> (halt))", encoding="utf-8")
+        main(["network", str(path), "-v"])
+        out = capsys.readouterr().out
+        assert "two-input nodes:" in out
+        assert "join #" in out
+
+
+class TestSimulate:
+    def test_simulate_grid(self, program_file, capsys):
+        assert main(
+            ["simulate", program_file, "--processes", "1", "2", "--queues", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speed-up" in out
+        assert "1+2/1q" in out
+
+
+class TestTables:
+    def test_unknown_table_id(self, capsys):
+        assert main(["tables", "9-9"]) == 2
+        assert "unknown tables" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

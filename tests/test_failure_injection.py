@@ -1,0 +1,117 @@
+"""Failure-injection tests: the system detects corruption rather than
+silently producing wrong matches."""
+
+import pytest
+
+from repro.ops5.conflict import ConflictSet
+from repro.ops5.errors import RuntimeOps5Error
+from repro.ops5.interpreter import Interpreter
+from repro.ops5.parser import parse_program
+from repro.ops5.wme import WME, WMEChange, WorkingMemory
+from repro.parallel.conjugate import ConjugateMemory
+from repro.parallel.engine import ParallelMatcher
+from repro.rete.matcher import SequentialMatcher
+from repro.rete.memories import HashMemorySystem
+from repro.rete.network import ReteNetwork
+from repro.rete.token import Token
+
+
+class TestSequentialStrictness:
+    def test_phantom_delete_detected(self):
+        """A delete for a WME the matcher never saw is a driver bug and
+        must raise, not be absorbed."""
+        network = ReteNetwork.compile(
+            parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        )
+        matcher = SequentialMatcher(network)
+        ghost = WME.make("a", {"x": 1}, 999)
+        with pytest.raises(RuntimeError):
+            matcher.process_changes([WMEChange(-1, ghost)])
+
+    def test_double_delete_detected(self):
+        network = ReteNetwork.compile(
+            parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        )
+        matcher = SequentialMatcher(network)
+        wm = WorkingMemory()
+        wme = wm.add("a", {"x": 1})
+        matcher.process_changes([WMEChange(1, wme)])
+        matcher.process_changes([WMEChange(-1, wme)])
+        with pytest.raises(RuntimeError):
+            matcher.process_changes([WMEChange(-1, wme)])
+
+
+class TestConflictSetGuards:
+    def test_strict_set_rejects_corruption(self):
+        from tests.ops5.test_conflict import prod, token
+
+        cs = ConflictSet(strict=True)
+        cs.apply(prod("r"), token(1), +1)
+        with pytest.raises(RuntimeOps5Error):
+            cs.apply(prod("r"), token(1), +1)
+
+    def test_parallel_interpreter_validates_after_each_batch(self):
+        """If the matcher hands back unbalanced deltas, the interpreter's
+        post-batch validation catches it immediately."""
+        program = parse_program("(p r (a) --> (halt))")
+        network = ReteNetwork.compile(program)
+
+        class LyingMatcher:
+            strict_cs = False
+
+            def process_changes(self, changes):
+                from repro.rete.nodes import CSDelta
+
+                # A remove with no matching add: count goes negative.
+                return [
+                    CSDelta(program.productions[0], Token.single(c.wme), -1)
+                    for c in changes
+                ]
+
+        interp = Interpreter(program, matcher=LyingMatcher())
+        with pytest.raises(RuntimeOps5Error):
+            interp.add_wme("a")
+
+
+class TestConjugateAccounting:
+    def test_unbalanced_parked_deletes_detected(self):
+        """A parked delete that never meets its add means tokens were
+        lost; the engine refuses to call the batch complete."""
+        program = parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        network = ReteNetwork.compile(program)
+        matcher = ParallelMatcher(network, n_workers=1)
+        try:
+            ghost = WME.make("a", {"x": 1}, 999)
+            with pytest.raises(RuntimeError):
+                matcher.process_changes([WMEChange(-1, ghost)])
+        finally:
+            matcher.close()
+
+    def test_conjugate_memory_isolates_nodes(self):
+        memory = ConjugateMemory(HashMemorySystem(16))
+        memory.remove(1, "L", (), (5,))
+        # The park must not leak into other nodes' inserts.
+        assert memory.insert(2, "L", (), Token.single(WME.make("c", {}, 5))) is True
+        assert memory.pending_deletes == 1
+
+
+class TestWorkerFaultPropagation:
+    def test_exception_in_worker_reaches_control(self):
+        program = parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        network = ReteNetwork.compile(program)
+        matcher = ParallelMatcher(network, n_workers=2)
+        network.two_input_nodes()[0].key_for = None  # type: ignore[assignment]
+        wm = WorkingMemory()
+        with pytest.raises(RuntimeError, match="match process failed"):
+            matcher.process_changes([WMEChange(1, wm.add("a", {"x": 1}))])
+
+    def test_failed_matcher_refuses_further_work(self):
+        program = parse_program("(p r (a ^x <v>) (b ^y <v>) --> (halt))")
+        network = ReteNetwork.compile(program)
+        matcher = ParallelMatcher(network, n_workers=1)
+        network.two_input_nodes()[0].key_for = None  # type: ignore[assignment]
+        wm = WorkingMemory()
+        with pytest.raises(RuntimeError):
+            matcher.process_changes([WMEChange(1, wm.add("a", {"x": 1}))])
+        with pytest.raises(RuntimeError):
+            matcher.process_changes([])
