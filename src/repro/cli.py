@@ -16,6 +16,13 @@ Commands
 
 ``tables [IDS...]``
     Regenerate the paper's tables (all of them by default).
+
+``schedck``
+    Deterministic schedule exploration for the threaded parallel
+    engine: replay one seeded schedule (``--seed N``) with its full
+    invariant report, or fuzz a seed range across the engine
+    configuration grid (``--sweep N``).  Same seed, same report —
+    byte for byte — so a failing CI seed can be replayed locally.
 """
 
 from __future__ import annotations
@@ -31,8 +38,12 @@ from .rete.trace import TraceRecorder
 
 
 def _read_program(path: str):
-    with open(path, "r", encoding="utf-8") as fh:
-        return parse_program(fh.read())
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read {path}: {exc.strerror}")
+    return parse_program(source)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -117,6 +128,31 @@ def cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schedck(args: argparse.Namespace) -> int:
+    from .schedck.runner import EngineConfig, run_schedule, sweep
+
+    try:
+        if args.sweep:
+            result = sweep(
+                args.sweep, base_seed=args.seed, max_steps=args.max_steps
+            )
+            print(result.format())
+            return 0 if result.ok else 1
+        config = EngineConfig(
+            n_workers=args.workers,
+            n_queues=args.queues,
+            lock_scheme=args.locks,
+            n_lines=args.lines,
+        )
+        report = run_schedule(
+            args.seed, config=config, policy_spec=args.policy, max_steps=args.max_steps
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro schedck: {exc}")
+    print(report.format())
+    return 0 if report.ok and not report.truncated else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -148,6 +184,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab = sub.add_parser("tables", help="regenerate the paper's tables")
     p_tab.add_argument("ids", nargs="*")
     p_tab.set_defaults(func=cmd_tables)
+
+    p_sck = sub.add_parser(
+        "schedck", help="deterministic schedule exploration of the parallel engine"
+    )
+    p_sck.add_argument("--seed", type=int, default=0,
+                       help="schedule seed (sweep: first seed of the range)")
+    p_sck.add_argument("--policy", default="random",
+                       help="random | pct[:depth] | adversarial:{delay-plus,"
+                            "delay-deletes,starve-quiescence,starve-worker}")
+    p_sck.add_argument("--workers", type=int, default=2)
+    p_sck.add_argument("--queues", type=int, default=1)
+    p_sck.add_argument("--locks", choices=["simple", "mrsw"], default="simple")
+    p_sck.add_argument("--lines", type=int, default=64)
+    p_sck.add_argument("--sweep", type=int, default=0, metavar="N",
+                       help="fuzz N seeds across the config/policy grid")
+    p_sck.add_argument("--max-steps", type=int, default=200_000)
+    p_sck.set_defaults(func=cmd_schedck)
 
     return parser
 

@@ -1,6 +1,7 @@
 """The threaded parallel match runtime: spin locks, task queues,
 conjugate-pair handling, and the PSM-E-structured parallel engine."""
 
+from . import hooks
 from .conjugate import ConjugateMemory
 from .engine import ParallelMatcher
 from .locks import LockStats, MRSWLineLocks, SimpleLineLocks, SpinLock, make_line_locks
@@ -15,5 +16,6 @@ __all__ = [
     "SpinLock",
     "TaskCount",
     "TaskQueueSet",
+    "hooks",
     "make_line_locks",
 ]

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .hooks import yield_point
+
 
 class ConjugateMemory:
     """Memory-system wrapper adding extra-deletes lists."""
@@ -36,6 +38,7 @@ class ConjugateMemory:
     # -- wrapped operations -------------------------------------------------
 
     def insert(self, node_id: int, side: str, key: tuple, item) -> bool:
+        yield_point("mem_insert", (node_id, side, key))
         parked = self._parked.get((node_id, side, key))
         if parked:
             try:
@@ -50,6 +53,7 @@ class ConjugateMemory:
         return self.inner.insert(node_id, side, key, item)
 
     def remove(self, node_id: int, side: str, key: tuple, token_key: tuple):
+        yield_point("mem_remove", (node_id, side, key))
         found, examined = self.inner.remove(node_id, side, key, token_key)
         if found is None:
             self._parked.setdefault((node_id, side, key), []).append(token_key)

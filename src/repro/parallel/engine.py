@@ -37,6 +37,7 @@ from ..rete.nodes import Activation, CSDelta, JoinNode, MatchContext, NotNode
 from ..rete.stats import MatchStats
 from ..rete.token import Token
 from .conjugate import ConjugateMemory
+from .hooks import thread_exit, yield_point
 from .locks import LockStats, make_line_locks
 from .taskqueue import TaskCount, TaskQueueSet
 
@@ -98,6 +99,7 @@ class ParallelMatcher:
         while not self.taskcount.zero:
             if self._failures:
                 break
+            yield_point("quiesce_wait", self.taskcount)
             time.sleep(0)
         if self._failures:
             failure = self._failures[0]
@@ -176,6 +178,7 @@ class ParallelMatcher:
                 if task is None:
                     if self._shutdown:
                         return
+                    yield_point("worker_idle", wid)
                     time.sleep(0)
                     continue
                 if task[0] == "poison":
@@ -187,6 +190,8 @@ class ParallelMatcher:
                 self.taskcount.decrement()
         except BaseException as exc:  # noqa: BLE001 - reported to control
             self._failures.append(exc)
+        finally:
+            thread_exit()
 
     def _push_children(self, wid: int, children: List[Activation]) -> None:
         for child in children:

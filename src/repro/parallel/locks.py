@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from time import sleep as _sleep
 from typing import Dict, List, Optional, Tuple
 
+from .hooks import yield_point
+
 UNUSED = 0
 LEFT_IN_USE = 1
 RIGHT_IN_USE = 2
@@ -68,10 +70,12 @@ class SpinLock:
     def acquire(self) -> int:
         """Spin until acquired; returns the number of spins (>= 1)."""
         spins = 1
+        yield_point("lock_acquire", self)
         while True:
             # "test": spin on an ordinary read while the lock is busy.
             while self._busy:
                 spins += 1
+                yield_point("lock_spin", self)
                 if spins % 128 == 0:
                     # Under the GIL a pure busy-wait can starve the
                     # holder for a whole switch interval; yield
@@ -84,10 +88,12 @@ class SpinLock:
                 self.stats.spins += spins
                 return spins
             spins += 1
+            yield_point("lock_spin", self)
 
     def release(self) -> None:
         self._busy = False
         self._lock.release()
+        yield_point("lock_release", self)
 
     def __enter__(self) -> "SpinLock":
         self.acquire()

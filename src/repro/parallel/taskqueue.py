@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from .hooks import yield_point
 from .locks import LockStats, SpinLock
 
 
@@ -25,15 +26,22 @@ class TaskCount:
     def __init__(self) -> None:
         self._lock = SpinLock()
         self._value = 0
+        #: Lowest value ever observed by a decrement — an invariant probe
+        #: for the schedule harness (must never go below 0).
+        self.min_value = 0
 
     def increment(self, n: int = 1) -> None:
+        yield_point("taskcount_inc", self)
         with self._lock:
             self._value += n
 
     def decrement(self, n: int = 1) -> int:
+        yield_point("taskcount_dec", self)
         with self._lock:
             self._value -= n
             value = self._value
+            if value < self.min_value:
+                self.min_value = value
         if value < 0:
             raise RuntimeError("TaskCount went negative")
         return value
@@ -64,12 +72,14 @@ class TaskQueueSet:
 
     def push(self, task: Any, home: int = 0) -> None:
         """Push ``task``; ``home`` selects the queue (mod n_queues)."""
+        yield_point("queue_push", task)
         qi = home % self.n_queues
         with self._locks[qi]:
             self._queues[qi].append(task)
 
     def pop(self, home: int = 0) -> Optional[Any]:
         """Pop from the home queue, else scan the others; None if all empty."""
+        yield_point("queue_pop", home)
         n = self.n_queues
         for offset in range(n):
             qi = (home + offset) % n

@@ -1,0 +1,144 @@
+"""Quiescence-point invariants for the parallel engine (§3.2).
+
+Checked after every ``process_changes`` batch, against the sequential
+matcher run in lockstep on the *same* WME objects:
+
+``conflict_set``
+    The net conflict set (count-folded CS deltas, since the parallel
+    engine emits deltas unordered) equals the sequential matcher's.
+``taskcount``
+    TaskCount is zero at quiescence and was never observed negative.
+``extra_deletes``
+    The conjugate extra-deletes lists are empty at the fixpoint — every
+    early ``-`` met its ``+`` twin.
+``memory_census``
+    The token hash memories hold exactly the sequential matcher's token
+    multiset: no duplicated tokens (same token stored twice on one node
+    side), no orphans (tokens the sequential run never stored, e.g.
+    both halves of an in-flight modify), no losses, and identical
+    negated-node match counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Counter as CounterT, List, Tuple
+
+from ..rete.memories import NotEntry
+from ..rete.network import ReteNetwork
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure at one quiescence point."""
+
+    invariant: str
+    batch: int
+    detail: str
+
+    def format(self) -> str:
+        return f"batch {self.batch}: {self.invariant}: {self.detail}"
+
+
+CensusKey = Tuple[int, str, tuple, int]
+
+
+def memory_census(memory, network: ReteNetwork) -> CounterT[CensusKey]:
+    """Multiset of ``(node_id, side, token_key, not_count)`` over all
+    two-input node memories (``not_count`` is -1 for plain tokens)."""
+    census: CounterT[CensusKey] = Counter()
+    for node in network.two_input_nodes():
+        for side in ("L", "R"):
+            for item in memory.items(node.node_id, side):
+                count = item.count if isinstance(item, NotEntry) else -1
+                census[(node.node_id, side, item.key, count)] += 1
+    return census
+
+
+def _describe_diff(extra: CounterT, missing: CounterT, limit: int = 4) -> str:
+    parts = []
+    if extra:
+        sample = ", ".join(repr(k) for k in sorted(extra)[:limit])
+        parts.append(f"{sum(extra.values())} extra (e.g. {sample})")
+    if missing:
+        sample = ", ".join(repr(k) for k in sorted(missing)[:limit])
+        parts.append(f"{sum(missing.values())} missing (e.g. {sample})")
+    return "; ".join(parts)
+
+
+def check_census(
+    batch: int, parallel_census: CounterT, sequential_census: CounterT
+) -> List[Violation]:
+    if parallel_census == sequential_census:
+        return []
+    extra = parallel_census - sequential_census
+    missing = sequential_census - parallel_census
+    out = [
+        Violation("memory_census", batch, _describe_diff(extra, missing))
+    ]
+    dupes = Counter(
+        {k: n for k, n in parallel_census.items() if n > 1 and sequential_census[k] <= 1}
+    )
+    if dupes:
+        out.append(
+            Violation(
+                "memory_census",
+                batch,
+                f"duplicated tokens: {sorted(dupes)[:4]!r}",
+            )
+        )
+    return out
+
+
+def check_conflict_set(
+    batch: int, parallel_cs: CounterT, sequential_cs: CounterT
+) -> List[Violation]:
+    par = {k for k, n in parallel_cs.items() if n != 0}
+    seq = {k for k, n in sequential_cs.items() if n != 0}
+    if par == seq:
+        bad_counts = sorted(
+            k for k in par if parallel_cs[k] != sequential_cs[k]
+        )
+        if not bad_counts:
+            return []
+        return [
+            Violation(
+                "conflict_set",
+                batch,
+                f"instantiation multiplicities differ: {bad_counts[:4]!r}",
+            )
+        ]
+    return [
+        Violation(
+            "conflict_set",
+            batch,
+            _describe_diff(
+                Counter({k: 1 for k in par - seq}),
+                Counter({k: 1 for k in seq - par}),
+            ),
+        )
+    ]
+
+
+def check_quiescence(batch: int, matcher) -> List[Violation]:
+    """Engine-side invariants on a quiesced :class:`ParallelMatcher`."""
+    out: List[Violation] = []
+    if matcher.taskcount.value != 0:
+        out.append(
+            Violation(
+                "taskcount", batch, f"non-zero at quiescence: {matcher.taskcount.value}"
+            )
+        )
+    if matcher.taskcount.min_value < 0:
+        out.append(
+            Violation(
+                "taskcount", batch, f"went negative: min {matcher.taskcount.min_value}"
+            )
+        )
+    pending = matcher.memory.pending_deletes
+    if pending:
+        out.append(
+            Violation("extra_deletes", batch, f"{pending} deletes still parked")
+        )
+    return out

@@ -1,0 +1,93 @@
+"""Hypothesis state-machine tests for the MRSW line-lock protocol.
+
+Models one hash-table line as the paper describes it (§3.2): a flag in
+{Unused, Left-in-use, Right-in-use} plus a user counter behind the
+guard lock.  The machine issues arbitrary legal enter/exit sequences
+(single-threaded — the protocol state logic, not the spin-locking, is
+under test) and checks after every step:
+
+* the user counter never goes negative,
+* the flag is Unused exactly when the counter is zero,
+* a side is admitted iff the line is Unused or already held by that
+  side, and the rejection is counted as a requeue,
+* admitted users are all from one side at any moment.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.parallel.locks import LEFT_IN_USE, RIGHT_IN_USE, UNUSED, MRSWLineLocks
+
+LINE = 3  # arbitrary; single-line machine
+SIDES = ("L", "R")
+_WANT = {"L": LEFT_IN_USE, "R": RIGHT_IN_USE}
+
+
+class MRSWLineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.locks = MRSWLineLocks(8)
+        self.users = {"L": 0, "R": 0}
+        self.requeues = 0
+
+    @rule(side=st.sampled_from(SIDES))
+    def enter(self, side):
+        other = "R" if side == "L" else "L"
+        admitted = self.locks.enter(LINE, side)
+        if self.users[other] > 0:
+            assert admitted is False, "opposite side held the line"
+            self.requeues += 1
+        else:
+            assert admitted is True, "free/same-side line must admit"
+            self.users[side] += 1
+
+    @precondition(lambda self: self.users["L"] > 0)
+    @rule()
+    def exit_left(self):
+        self.locks.exit(LINE, "L")
+        self.users["L"] -= 1
+
+    @precondition(lambda self: self.users["R"] > 0)
+    @rule()
+    def exit_right(self):
+        self.locks.exit(LINE, "R")
+        self.users["R"] -= 1
+
+    @precondition(lambda self: self.users["L"] + self.users["R"] > 0)
+    @rule()
+    def modify_cycle(self):
+        # The modification lock is independent of the flag protocol; a
+        # holder may always bracket a destructive update with it.
+        self.locks.enter_modify(LINE)
+        self.locks.exit_modify(LINE)
+
+    @invariant()
+    def counter_never_negative(self):
+        assert self.locks._counts[LINE] >= 0
+
+    @invariant()
+    def counter_matches_model(self):
+        assert self.locks._counts[LINE] == self.users["L"] + self.users["R"]
+
+    @invariant()
+    def flag_unused_iff_empty(self):
+        flag = self.locks._flags[LINE]
+        total = self.users["L"] + self.users["R"]
+        if total == 0:
+            assert flag == UNUSED
+        else:
+            held = "L" if self.users["L"] else "R"
+            assert flag == _WANT[held]
+
+    @invariant()
+    def single_side_occupancy(self):
+        assert not (self.users["L"] > 0 and self.users["R"] > 0)
+
+    @invariant()
+    def requeues_counted(self):
+        assert self.locks.stats().requeues == self.requeues
+
+
+TestMRSWLineMachine = MRSWLineMachine.TestCase
+TestMRSWLineMachine.settings = settings(max_examples=60, stateful_step_count=30, deadline=None)

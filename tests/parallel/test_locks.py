@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.parallel import hooks
 from repro.parallel.locks import (
     LockStats,
     MRSWLineLocks,
@@ -49,19 +50,27 @@ class TestSpinLock:
         lock.acquire()
 
         spun = []
+        spinning = threading.Event()
+
+        # The waiter's first "lock_spin" yield proves it is busy-waiting
+        # before the holder releases — no timing assumption needed.
+        def on_yield(label, detail):
+            if label == "lock_spin":
+                spinning.set()
 
         def waiter():
             spun.append(lock.acquire())
             lock.release()
 
-        t = threading.Thread(target=waiter)
-        t.start()
-        # Give the waiter a moment to start spinning, then release.
-        import time
-
-        time.sleep(0.01)
-        lock.release()
-        t.join()
+        hooks.install(on_yield)
+        try:
+            t = threading.Thread(target=waiter)
+            t.start()
+            assert spinning.wait(timeout=10.0)
+            lock.release()
+            t.join()
+        finally:
+            hooks.uninstall()
         assert spun[0] >= 1
 
 

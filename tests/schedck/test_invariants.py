@@ -1,0 +1,120 @@
+"""The quiescence-point invariant checks detect what they claim to."""
+
+from collections import Counter
+
+from repro.ops5.parser import parse_program
+from repro.ops5.wme import WMEChange, WorkingMemory
+from repro.rete.matcher import SequentialMatcher
+from repro.rete.network import ReteNetwork
+from repro.schedck.invariants import (
+    check_census,
+    check_conflict_set,
+    check_quiescence,
+    memory_census,
+)
+
+PROGRAM = "(p r (c0 ^a <x>) (c1 ^a <x>) --> (halt))"
+
+
+def matched_memory():
+    network = ReteNetwork.compile(parse_program(PROGRAM))
+    matcher = SequentialMatcher(network)
+    wm = WorkingMemory()
+    changes = [WMEChange(1, wm.add("c0", {"a": 1})), WMEChange(1, wm.add("c1", {"a": 1}))]
+    matcher.process_changes(changes)
+    return matcher, network
+
+
+class TestMemoryCensus:
+    def test_equal_memories_pass(self):
+        matcher, network = matched_memory()
+        census = memory_census(matcher.memory, network)
+        assert census  # both sides of the join hold a token
+        assert check_census(0, Counter(census), Counter(census)) == []
+
+    def test_orphaned_token_detected(self):
+        matcher, network = matched_memory()
+        expected = memory_census(matcher.memory, network)
+        node = network.two_input_nodes()[0]
+        extra = next(iter(matcher.memory.items(node.node_id, "R")))
+        matcher.memory.insert(node.node_id, "R", ("orphan",), extra)
+        violations = check_census(0, memory_census(matcher.memory, network), expected)
+        assert violations
+        assert "extra" in violations[0].detail
+
+    def test_duplicated_token_detected(self):
+        matcher, network = matched_memory()
+        expected = memory_census(matcher.memory, network)
+        node = network.two_input_nodes()[0]
+        item = next(iter(matcher.memory.items(node.node_id, "R")))
+        key = node.key_for("R", item)
+        matcher.memory.insert(node.node_id, "R", key, item)
+        violations = check_census(0, memory_census(matcher.memory, network), expected)
+        assert any("duplicated" in v.detail for v in violations)
+
+    def test_lost_token_detected(self):
+        matcher, network = matched_memory()
+        expected = memory_census(matcher.memory, network)
+        node = network.two_input_nodes()[0]
+        item = next(iter(matcher.memory.items(node.node_id, "R")))
+        key = node.key_for("R", item)
+        matcher.memory.remove(node.node_id, "R", key, item.key)
+        violations = check_census(0, memory_census(matcher.memory, network), expected)
+        assert violations
+        assert "missing" in violations[0].detail
+
+
+class TestConflictSet:
+    def test_equal_sets_pass(self):
+        cs = Counter({("r", (1, 2)): 1})
+        assert check_conflict_set(0, cs, Counter(cs)) == []
+
+    def test_zero_counts_are_ignored(self):
+        par = Counter({("r", (1, 2)): 1, ("r", (3, 4)): 0})
+        seq = Counter({("r", (1, 2)): 1})
+        assert check_conflict_set(0, par, seq) == []
+
+    def test_extra_instantiation_detected(self):
+        par = Counter({("r", (1, 2)): 1, ("r", (3, 4)): 1})
+        seq = Counter({("r", (1, 2)): 1})
+        violations = check_conflict_set(1, par, seq)
+        assert violations and violations[0].batch == 1
+        assert "extra" in violations[0].detail
+
+    def test_multiplicity_mismatch_detected(self):
+        par = Counter({("r", (1, 2)): 2})
+        seq = Counter({("r", (1, 2)): 1})
+        violations = check_conflict_set(0, par, seq)
+        assert violations
+        assert "multiplicities" in violations[0].detail
+
+
+class TestQuiescence:
+    class _FakeTaskCount:
+        def __init__(self, value=0, min_value=0):
+            self.value = value
+            self.min_value = min_value
+
+    class _FakeMemory:
+        def __init__(self, pending=0):
+            self.pending_deletes = pending
+
+    class _FakeMatcher:
+        def __init__(self, value=0, min_value=0, pending=0):
+            self.taskcount = TestQuiescence._FakeTaskCount(value, min_value)
+            self.memory = TestQuiescence._FakeMemory(pending)
+
+    def test_clean_matcher_passes(self):
+        assert check_quiescence(0, self._FakeMatcher()) == []
+
+    def test_nonzero_taskcount_detected(self):
+        violations = check_quiescence(0, self._FakeMatcher(value=3))
+        assert any(v.invariant == "taskcount" for v in violations)
+
+    def test_negative_excursion_detected(self):
+        violations = check_quiescence(0, self._FakeMatcher(min_value=-1))
+        assert any("negative" in v.detail for v in violations)
+
+    def test_parked_deletes_detected(self):
+        violations = check_quiescence(2, self._FakeMatcher(pending=2))
+        assert any(v.invariant == "extra_deletes" for v in violations)

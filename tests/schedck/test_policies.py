@@ -1,0 +1,98 @@
+"""Schedule policies: determinism, guards, targeted preferences."""
+
+import pytest
+
+from repro.schedck.policies import (
+    AdversarialPolicy,
+    PCTPolicy,
+    SeededRandomPolicy,
+    make_policy,
+)
+
+WORKERS = [("match-0", "queue_pop"), ("match-1", "mem_insert"), ("MainThread", "quiesce_wait")]
+
+
+def drive(policy, runnable, n=50):
+    return [policy.choose(list(runnable), step) for step in range(n)]
+
+
+class TestSeededRandom:
+    def test_deterministic_per_seed(self):
+        assert drive(SeededRandomPolicy(3), WORKERS) == drive(SeededRandomPolicy(3), WORKERS)
+
+    def test_seed_changes_schedule(self):
+        assert drive(SeededRandomPolicy(1), WORKERS) != drive(SeededRandomPolicy(2), WORKERS)
+
+    def test_single_runnable_is_forced(self):
+        policy = SeededRandomPolicy(0)
+        assert policy.choose([("match-0", "queue_pop")], 0) == "match-0"
+
+
+class TestPCT:
+    def test_deterministic_per_seed(self):
+        assert drive(PCTPolicy(9), WORKERS) == drive(PCTPolicy(9), WORKERS)
+
+    def test_priority_based_until_change_point(self):
+        # Outside change points and with the guard quiet, the same
+        # leader wins every time.
+        policy = PCTPolicy(0, depth=1)  # depth 1 => no change points
+        busy = [("match-0", "mem_insert"), ("match-1", "mem_remove")]
+        choices = set(drive(policy, busy, 20))
+        assert len(choices) == 1
+
+    def test_guard_rotates_waiting_leader(self):
+        # All runnable threads waiting: PCT would fixate on its leader
+        # forever; the guard must rotate so every thread progresses.
+        waiting = [("match-0", "queue_pop"), ("match-1", "worker_idle"),
+                   ("MainThread", "quiesce_wait")]
+        policy = PCTPolicy(4, depth=1)
+        assert set(drive(policy, waiting, 60)) == {"match-0", "match-1", "MainThread"}
+
+
+class TestAdversarial:
+    def test_delay_plus_avoids_inserts(self):
+        policy = AdversarialPolicy("delay-plus", seed=0)
+        runnable = [("match-0", "mem_insert"), ("match-1", "mem_remove")]
+        choices = drive(policy, runnable, 64)
+        # The insert twin is only scheduled on relief steps (step 0 here).
+        assert choices.count("match-0") <= 2
+        assert "match-1" in choices
+
+    def test_delay_deletes_avoids_removes(self):
+        policy = AdversarialPolicy("delay-deletes", seed=0)
+        runnable = [("match-0", "mem_insert"), ("match-1", "mem_remove")]
+        choices = drive(policy, runnable, 64)
+        assert choices.count("match-1") <= 2
+
+    def test_starve_quiescence_rarely_runs_control(self):
+        policy = AdversarialPolicy("starve-quiescence", seed=0)
+        runnable = [("MainThread", "quiesce_wait"), ("match-0", "mem_insert")]
+        choices = drive(policy, runnable, 64)
+        assert choices.count("MainThread") <= 2
+
+    def test_victim_runs_when_alone(self):
+        policy = AdversarialPolicy("starve-worker", seed=0)
+        assert policy.choose([("match-0", "queue_pop")], 1) == "match-0"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialPolicy("fork-bomb", seed=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "spec, expected_name",
+        [
+            ("random", "random"),
+            ("pct", "pct:3"),
+            ("pct:5", "pct:5"),
+            ("adversarial:delay-plus", "adversarial:delay-plus"),
+            ("adversarial:starve-worker", "adversarial:starve-worker"),
+        ],
+    )
+    def test_specs(self, spec, expected_name):
+        assert make_policy(spec, 0).name == expected_name
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_policy("roundrobin", 0)

@@ -1,0 +1,76 @@
+"""The random program/workload generator: validity, bounds, determinism."""
+
+import random
+
+from repro.ops5.parser import parse_program
+from repro.rete.network import ReteNetwork
+from repro.schedck.progen import ProgenParams, generate, generate_batches, generate_program
+
+
+class TestPrograms:
+    def test_deterministic_per_seed(self):
+        assert generate_program(random.Random(7)) == generate_program(random.Random(7))
+
+    def test_seed_changes_program(self):
+        programs = {generate_program(random.Random(s)) for s in range(10)}
+        assert len(programs) > 1
+
+    def test_every_program_parses_and_compiles(self):
+        for seed in range(50):
+            source = generate_program(random.Random(seed))
+            ReteNetwork.compile(parse_program(source))
+
+    def test_respects_rule_and_ce_bounds(self):
+        params = ProgenParams(max_rules=3, max_pos_ces=2)
+        for seed in range(30):
+            program = parse_program(generate_program(random.Random(seed), params))
+            assert 1 <= len(program.productions) <= 3
+            for prod in program.productions:
+                positives = [ce for ce in prod.ces if not ce.negated]
+                assert 1 <= len(positives) <= 2
+
+    def test_negation_can_be_disabled(self):
+        params = ProgenParams(allow_negation=False)
+        for seed in range(20):
+            program = parse_program(generate_program(random.Random(seed), params))
+            assert not any(ce.negated for prod in program.productions for ce in prod.ces)
+
+
+class TestBatches:
+    def test_deterministic_per_seed(self):
+        a = generate_batches(random.Random(3))
+        b = generate_batches(random.Random(3))
+        assert [[(c.sign, c.wme) for c in batch] for batch in a] == [
+            [(c.sign, c.wme) for c in batch] for batch in b
+        ]
+
+    def test_deletes_only_live_wmes(self):
+        for seed in range(30):
+            live = set()
+            for batch in generate_batches(random.Random(seed)):
+                for change in batch:
+                    if change.sign == 1:
+                        assert change.wme.timetag not in live
+                        live.add(change.wme.timetag)
+                    else:
+                        assert change.wme.timetag in live
+                        live.discard(change.wme.timetag)
+
+    def test_timetags_unique_and_increasing(self):
+        for seed in range(20):
+            tags = [
+                c.wme.timetag
+                for batch in generate_batches(random.Random(seed))
+                for c in batch
+                if c.sign == 1
+            ]
+            assert tags == sorted(tags)
+            assert len(tags) == len(set(tags))
+
+
+class TestGenerate:
+    def test_case_is_one_rng_stream(self):
+        src_a, batches_a = generate(random.Random(11))
+        src_b, batches_b = generate(random.Random(11))
+        assert src_a == src_b
+        assert len(batches_a) == len(batches_b)

@@ -83,6 +83,56 @@ class TestTables:
         assert "unknown tables" in capsys.readouterr().err
 
 
+class TestSchedck:
+    def test_single_seed_exits_zero(self, capsys):
+        assert main(["schedck", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "schedck seed=42 policy=random config=1+2/1q/simple/64l" in out
+        assert "violations: 0" in out
+
+    def test_report_deterministic_across_invocations(self, capsys):
+        main(["schedck", "--seed", "7", "--policy", "pct"])
+        first = capsys.readouterr().out
+        main(["schedck", "--seed", "7", "--policy", "pct"])
+        assert capsys.readouterr().out == first
+
+    def test_config_flags_reach_report(self, capsys):
+        assert main(
+            ["schedck", "--seed", "3", "--workers", "4", "--queues", "4",
+             "--locks", "mrsw", "--policy", "adversarial:delay-plus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy=adversarial:delay-plus config=1+4/4q/mrsw/64l" in out
+
+    def test_sweep_smoke(self, capsys):
+        assert main(["schedck", "--sweep", "4", "--seed", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "schedck sweep: 4 schedules, 0 failing, 0 truncated" in out
+
+    def test_truncated_schedule_exits_nonzero(self, capsys):
+        assert main(["schedck", "--seed", "42", "--max-steps", "50"]) == 1
+        assert "(truncated)" in capsys.readouterr().out
+
+    def test_unknown_policy_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedck", "--policy", "bogus"])
+        assert "unknown schedule policy" in str(exc.value)
+
+    def test_zero_workers_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedck", "--workers", "0"])
+        assert "match process" in str(exc.value)
+
+
+class TestReadProgramErrors:
+    def test_missing_file_is_clean_exit(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.ops5")
+        with pytest.raises(SystemExit) as exc:
+            main(["run", missing])
+        assert "cannot read" in str(exc.value)
+        assert missing in str(exc.value)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
