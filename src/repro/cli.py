@@ -23,6 +23,19 @@ Commands
     invariant report, or fuzz a seed range across the engine
     configuration grid (``--sweep N``).  Same seed, same report —
     byte for byte — so a failing CI seed can be replayed locally.
+
+``serve``
+    Host OPS5 sessions over a line-delimited JSON protocol: many
+    concurrent working memories over shared compiled Rete networks,
+    with batched WM transactions, backpressure, and cycle budgets
+    (see docs/SERVICE.md).
+
+``loadgen``
+    Drive a server (``--connect HOST:PORT`` or in-process via
+    ``--spawn``) with N concurrent sessions replaying deterministic
+    scenario traffic; print a throughput/latency report and, with
+    ``--verify``, byte-compare each session's firings against a
+    sequential replay.
 """
 
 from __future__ import annotations
@@ -44,6 +57,15 @@ def _read_program(path: str):
     except OSError as exc:
         raise SystemExit(f"repro: cannot read {path}: {exc.strerror}")
     return parse_program(source)
+
+
+def _read_source(path: str, verb: str) -> str:
+    """Raw program text for the service verbs (they parse server-side)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        raise SystemExit(f"repro {verb}: cannot read {path}: {exc.strerror}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -153,6 +175,99 @@ def cmd_schedck(args: argparse.Namespace) -> int:
     return 0 if report.ok and not report.truncated else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .ops5.errors import Ops5Error
+    from .serve.limits import ServiceLimits
+    from .serve.server import ReproServer
+
+    if not 0 <= args.port <= 65535:
+        raise SystemExit(
+            f"repro serve: invalid port {args.port}; expected 0-65535"
+        )
+    preload_sources = [_read_source(p, "serve") for p in args.preload]
+    limits = ServiceLimits(
+        max_sessions=args.max_sessions, inbox_depth=args.inbox_depth
+    )
+    try:
+        limits.validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}")
+
+    async def _serve() -> None:
+        server = ReproServer(
+            host=args.host, port=args.port, limits=limits, mode=args.mode
+        )
+        host, port = await server.start()
+        try:
+            for source in preload_sources:
+                server.preload(source)
+        except Ops5Error as exc:
+            await server.shutdown()
+            raise SystemExit(f"repro serve: preload failed: {exc}")
+        print(f"repro serve: listening on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.loadgen import run_loadgen
+    from .serve.traffic import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"repro loadgen: unknown scenario {args.scenario!r}; "
+            f"expected one of {', '.join(SCENARIOS)}"
+        )
+    if args.sessions < 1 or args.transactions < 1:
+        raise SystemExit(
+            "repro loadgen: --sessions and --transactions must be positive"
+        )
+    host = port = None
+    if args.connect and args.spawn:
+        raise SystemExit("repro loadgen: --connect and --spawn are exclusive")
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not host or not 0 < port <= 65535:
+            raise SystemExit(
+                f"repro loadgen: bad --connect {args.connect!r}; "
+                "expected HOST:PORT"
+            )
+    elif not args.spawn:
+        raise SystemExit("repro loadgen: need --connect HOST:PORT or --spawn")
+    program_source = (
+        _read_source(args.program, "loadgen") if args.program else None
+    )
+    report = asyncio.run(
+        run_loadgen(
+            scenario=args.scenario,
+            sessions=args.sessions,
+            transactions=args.transactions,
+            host=host,
+            port=port,
+            spawn=args.spawn,
+            verify=args.verify,
+            seed=args.seed,
+            program_source=program_source,
+            shutdown_after=args.shutdown_after,
+        )
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -201,6 +316,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fuzz N seeds across the config/policy grid")
     p_sck.add_argument("--max-steps", type=int, default=200_000)
     p_sck.set_defaults(func=cmd_schedck)
+
+    p_srv = sub.add_parser(
+        "serve", help="host OPS5 sessions over a line-JSON protocol"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral)")
+    p_srv.add_argument("--mode", choices=["compiled", "interpreted"],
+                       default="compiled")
+    p_srv.add_argument("--preload", action="append", default=[],
+                       metavar="FILE",
+                       help="warm the network cache with a program file "
+                            "(repeatable)")
+    p_srv.add_argument("--max-sessions", type=int, default=256)
+    p_srv.add_argument("--inbox-depth", type=int, default=16)
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="drive a server with concurrent session traffic"
+    )
+    p_lg.add_argument("--scenario", default="mix",
+                      help="blocks | monkey | tourney | mix")
+    p_lg.add_argument("--sessions", type=int, default=20)
+    p_lg.add_argument("--transactions", type=int, default=50,
+                      help="transactions per session")
+    p_lg.add_argument("--connect", metavar="HOST:PORT",
+                      help="drive a running server")
+    p_lg.add_argument("--spawn", action="store_true",
+                      help="host an in-process server on an ephemeral port")
+    p_lg.add_argument("--program", metavar="FILE",
+                      help="replay budgeted runs of this program file "
+                           "instead of a scenario")
+    p_lg.add_argument("--verify", action="store_true",
+                      help="byte-compare firings with a sequential replay")
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--shutdown-after", action="store_true",
+                      help="send a shutdown request when the run is done")
+    p_lg.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -1,0 +1,62 @@
+"""Service-layer throughput: transaction rate vs concurrent sessions.
+
+Not one of the paper's tables.  The paper parallelizes *within* one
+recognize-act cycle; the service layer multiplexes *independent*
+sessions over one shared compiled network (see docs/SERVICE.md).  This
+experiment measures that complementary axis: aggregate transactions
+per second and p95 latency as the concurrent session count grows, per
+scenario, against an in-process server.
+
+Deliberately not in ``ALL_TABLES`` — wall-clock throughput is
+machine-dependent, so ``repro tables`` stays reproducible.  Run it via
+``python -c "from repro.harness.serve_throughput import serve_throughput;
+print(serve_throughput().report)"`` or the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Sequence
+
+from ..serve.loadgen import run_loadgen
+from .experiments import ExperimentResult
+from .tables import render_table
+
+
+def serve_throughput(
+    session_counts: Sequence[int] = (1, 4, 12),
+    transactions: int = 20,
+    scenarios: Sequence[str] = ("blocks", "tourney"),
+) -> ExperimentResult:
+    """Scale session count per scenario and record aggregate rates."""
+    data: Dict = {}
+    rows = []
+    for scenario in scenarios:
+        for n in session_counts:
+            report = asyncio.run(
+                run_loadgen(
+                    scenario=scenario,
+                    sessions=n,
+                    transactions=transactions,
+                    spawn=True,
+                )
+            )
+            wall = report.wall_seconds or 1e-9
+            entry = {
+                "txn_s": report.txns_ok / wall,
+                "cycles_s": report.total_cycles / wall,
+                "p95_ms": report.latency.get("p95_ms", 0.0),
+                "errors": report.errors,
+                "netcache_hits": report.netcache.get("hits", 0),
+            }
+            data[(scenario, n)] = entry
+            rows.append(
+                [scenario, n, entry["txn_s"], entry["cycles_s"],
+                 entry["p95_ms"], entry["errors"]]
+            )
+    report_text = render_table(
+        "Service throughput: aggregate txn/s vs concurrent sessions",
+        ["scenario", "sessions", "txn/s", "cycles/s", "p95 ms", "errors"],
+        rows,
+    )
+    return ExperimentResult("serve-throughput", data, report_text)

@@ -18,7 +18,8 @@ the control process (§3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from time import monotonic
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .astnodes import ConditionElement, Constant, Production, Program
 from .conflict import ConflictSet, Instantiation, make_strategy
@@ -43,16 +44,67 @@ class Firing:
 
 @dataclass
 class RunResult:
-    """Outcome of :meth:`Interpreter.run`."""
+    """Outcome of :meth:`Interpreter.run` / :meth:`Interpreter.run_cycles`.
+
+    ``halted`` means the program executed ``(halt)``; ``exhausted``
+    means the cycle budget ran out while at least one eligible
+    instantiation was still waiting to fire (the service layer must
+    tell those apart from ordinary quiescence); ``deadline_hit`` means
+    a wall-clock deadline expired first.
+    """
 
     cycles: int
     halted: bool
     firings: List[Firing] = field(default_factory=list)
     output: List[str] = field(default_factory=list)
+    exhausted: bool = False
+    deadline_hit: bool = False
+
+    @property
+    def outcome(self) -> str:
+        """``'halted'`` | ``'deadline'`` | ``'exhausted'`` | ``'quiescent'``."""
+        if self.halted:
+            return "halted"
+        if self.deadline_hit:
+            return "deadline"
+        if self.exhausted:
+            return "exhausted"
+        return "quiescent"
 
     @property
     def fired_names(self) -> List[str]:
         return [f.production for f in self.firings]
+
+
+class TransactionError(RuntimeOps5Error):
+    """A batched WM transaction failed validation; nothing was applied."""
+
+
+@dataclass(frozen=True)
+class WMOp:
+    """One operation in a batched working-memory transaction.
+
+    The service layer's unit of ingress — a list of these is applied
+    atomically (all or nothing) before the recognize-act cycles of one
+    request, mirroring the paper's "WM changes per cycle" unit.
+    """
+
+    op: str  # 'make' | 'remove' | 'modify'
+    klass: Optional[str] = None
+    attrs: Tuple[Tuple[str, Constant], ...] = ()
+    timetag: Optional[int] = None
+
+    @staticmethod
+    def make(klass: str, attrs: Optional[Mapping[str, Constant]] = None) -> "WMOp":
+        return WMOp(op="make", klass=klass, attrs=tuple(sorted((attrs or {}).items())))
+
+    @staticmethod
+    def remove(timetag: int) -> "WMOp":
+        return WMOp(op="remove", timetag=timetag)
+
+    @staticmethod
+    def modify(timetag: int, attrs: Mapping[str, Constant]) -> "WMOp":
+        return WMOp(op="modify", timetag=timetag, attrs=tuple(sorted(attrs.items())))
 
 
 class Interpreter:
@@ -71,6 +123,15 @@ class Interpreter:
     recorder:
         Optional :class:`~repro.rete.trace.TraceRecorder` capturing the
         task DAG for the Encore simulator (sequential matcher only).
+    network:
+        A prebuilt :class:`~repro.rete.network.ReteNetwork` for this
+        program, e.g. from :class:`~repro.serve.netcache.NetworkCache`.
+        Networks hold no per-run token state (memories live in the
+        matcher), so one compiled network is shared safely by many
+        interpreters.
+    rhs_table:
+        Prebuilt ``{production name: CompiledRHS}``, shareable for the
+        same reason; compiled from ``program`` when omitted.
     """
 
     def __init__(
@@ -83,11 +144,15 @@ class Interpreter:
         n_lines: int = 1024,
         recorder: Optional[TraceRecorder] = None,
         input_values: Optional[Sequence[Constant]] = None,
+        network: Optional[ReteNetwork] = None,
+        rhs_table: Optional[Dict[str, CompiledRHS]] = None,
     ) -> None:
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
-        self.network = ReteNetwork.compile(program, mode=mode)
+        self.network = network if network is not None else ReteNetwork.compile(
+            program, mode=mode
+        )
         if matcher is None:
             matcher = SequentialMatcher(
                 self.network, memory=memory, n_lines=n_lines, recorder=recorder
@@ -101,10 +166,13 @@ class Interpreter:
         self.halted = False
         self.cycle = 0
         self.input_values: List[Constant] = list(input_values or ())
-        self._rhs: Dict[str, CompiledRHS] = {
-            p.name: CompiledRHS(p) for p in program.productions
-        }
+        self._rhs: Dict[str, CompiledRHS] = (
+            rhs_table
+            if rhs_table is not None
+            else {p.name: CompiledRHS(p) for p in program.productions}
+        )
         self._startup_done = False
+        self._closed = False
 
     # -- working-memory entry points ---------------------------------------
 
@@ -117,6 +185,56 @@ class Interpreter:
     def remove_wme(self, wme: WME) -> None:
         self.wm.remove(wme)
         self._apply_changes([WMEChange(sign=-1, wme=wme)])
+
+    def apply_transaction(self, ops: Sequence[WMOp]) -> List[int]:
+        """Apply a batch of make/remove/modify ops atomically.
+
+        Every op is validated against the current working memory before
+        anything mutates; any invalid op raises
+        :class:`TransactionError` and leaves WM and match state
+        untouched.  Valid ops apply in order, and all resulting WM
+        changes are filtered through the matcher as a single batch.
+
+        Returns the fresh timetags created, one per ``make``/``modify``
+        op in op order (clients need them to address later removes and
+        modifies).
+        """
+        gone: set = set()
+        for i, op in enumerate(ops):
+            if op.op == "make":
+                if not op.klass:
+                    raise TransactionError(f"op {i}: make requires a class")
+            elif op.op in ("remove", "modify"):
+                tag = op.timetag
+                if not isinstance(tag, int):
+                    raise TransactionError(f"op {i}: {op.op} requires a timetag")
+                if tag in gone or self.wm.by_timetag(tag) is None:
+                    raise TransactionError(
+                        f"op {i}: no WME with timetag {tag} ({op.op})"
+                    )
+                gone.add(tag)  # a later op may not target the same element
+            else:
+                raise TransactionError(f"op {i}: unknown op {op.op!r}")
+
+        changes: List[WMEChange] = []
+        created: List[int] = []
+        for op in ops:
+            if op.op == "make":
+                wme = self.wm.add(op.klass, dict(op.attrs))
+                changes.append(WMEChange(sign=1, wme=wme))
+                created.append(wme.timetag)
+            elif op.op == "remove":
+                wme = self.wm.by_timetag(op.timetag)
+                self.wm.remove(wme)
+                changes.append(WMEChange(sign=-1, wme=wme))
+            else:  # modify = remove + make with a fresh timetag
+                old = self.wm.by_timetag(op.timetag)
+                old, new = self.wm.modify(old, dict(op.attrs))
+                changes.append(WMEChange(sign=-1, wme=old))
+                changes.append(WMEChange(sign=1, wme=new))
+                created.append(new.timetag)
+        self._apply_changes(changes)
+        return created
 
     def startup(self) -> None:
         """Execute the program's ``(startup ...)`` actions once."""
@@ -146,7 +264,14 @@ class Interpreter:
         return len(deltas)
 
     def close(self) -> None:
-        """Release matcher resources (kills parallel match processes)."""
+        """Release matcher resources (kills parallel match processes).
+
+        Idempotent: safe to call any number of times, including after a
+        ``with`` block has already closed the interpreter.
+        """
+        if self._closed:
+            return
+        self._closed = True
         closer = getattr(self.matcher, "close", None)
         if closer is not None:
             closer()
@@ -184,21 +309,58 @@ class Interpreter:
             cycle=self.cycle, production=production.name, timetags=inst.token.key
         )
 
-    def run(self, max_cycles: int = 100000) -> RunResult:
-        """Run until halt, quiescence, or ``max_cycles``."""
+    def run_cycles(self, budget: int, deadline: Optional[float] = None) -> RunResult:
+        """One resumable, budgeted slice of the recognize-act loop.
+
+        Runs at most ``budget`` cycles from the current state (a budget
+        of 0 applies no firings — useful for pure WM ingestion) and
+        stops early if ``deadline`` (a ``time.monotonic()`` timestamp)
+        passes.  The returned result's ``firings``/``output`` cover
+        only this slice; ``cycles`` is the cumulative cycle count.
+        Call again to resume exactly where the budget ran out.
+        """
         firings: List[Firing] = []
+        out_start = len(self.output)
         if not self._startup_done:
             self.startup()
-        while not self.halted and len(firings) < max_cycles:
+        deadline_hit = False
+        while not self.halted and len(firings) < budget:
+            if deadline is not None and monotonic() >= deadline:
+                deadline_hit = True
+                break
             firing = self.step()
             if firing is None:
                 break
             firings.append(firing)
+        exhausted = (
+            not self.halted
+            and not deadline_hit
+            and len(firings) >= budget
+            and self.strategy.select(self.conflict_set) is not None
+        )
         return RunResult(
             cycles=self.cycle,
             halted=self.halted,
             firings=firings,
+            output=list(self.output[out_start:]),
+            exhausted=exhausted,
+            deadline_hit=deadline_hit,
+        )
+
+    def run(self, max_cycles: int = 100000) -> RunResult:
+        """Run until halt, quiescence, or ``max_cycles``.
+
+        ``output`` holds the full accumulated program output;
+        ``result.exhausted`` distinguishes a ``max_cycles`` stop with
+        work still pending from genuine quiescence.
+        """
+        part = self.run_cycles(max_cycles)
+        return RunResult(
+            cycles=self.cycle,
+            halted=self.halted,
+            firings=part.firings,
             output=list(self.output),
+            exhausted=part.exhausted,
         )
 
     # -- inspection ----------------------------------------------------------

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-_RULES = """
+_RULES_CORE = """
 (literalize block name on clear)
 (literalize goal put onto done)
 (literalize phase step)
@@ -73,7 +73,12 @@ _RULES = """
   (phase ^step fix-clear)
   -->
   (modify 1 ^step idle))
+"""
 
+# The terminal rule in two flavours: the classic program halts when
+# every goal is satisfied; service sessions stay alive (new goals keep
+# arriving as transactions), so their variant only announces.
+_ALL_DONE_HALT = """
 (p all-done
   (phase ^step idle)
   - (goal ^done no)
@@ -81,6 +86,22 @@ _RULES = """
   (write all goals satisfied)
   (halt))
 """
+
+_ALL_DONE_ANNOUNCE = """
+(p all-done
+  (phase ^step idle)
+  - (goal ^done no)
+  -->
+  (write all goals satisfied))
+"""
+
+_RULES = _RULES_CORE + _ALL_DONE_HALT
+
+
+def rules(halt: bool = True) -> str:
+    """The rule set alone (no startup) — the service layer feeds the
+    initial state as WM transactions instead of ``(startup ...)``."""
+    return _RULES_CORE + (_ALL_DONE_HALT if halt else _ALL_DONE_ANNOUNCE)
 
 
 def startup_block(

@@ -7,7 +7,7 @@ them.  A compact goal/subgoal formulation exercising MEA-style control
 
 from __future__ import annotations
 
-_SOURCE = """
+_RULES_CORE = """
 (literalize goal status type object)
 (literalize monkey at on holds)
 (literalize thing name at weight)
@@ -48,6 +48,11 @@ _SOURCE = """
   (modify 3 ^at <p>)
   (write monkey walks to <p>))
 
+"""
+
+# The final rule with and without ``(halt)``: service sessions outlive
+# one grab, so their variant just reports success.
+_GRAB_HALT = """
 (p grab-bananas
   (goal ^status active ^type holds ^object bananas)
   (thing ^name bananas ^at <p>)
@@ -57,13 +62,33 @@ _SOURCE = """
   (modify 1 ^status satisfied)
   (write monkey grabs the bananas)
   (halt))
+"""
 
+_GRAB_ANNOUNCE = """
+(p grab-bananas
+  (goal ^status active ^type holds ^object bananas)
+  (thing ^name bananas ^at <p>)
+  (monkey ^at <p> ^on ladder ^holds nil)
+  -->
+  (modify 3 ^holds bananas)
+  (modify 1 ^status satisfied)
+  (write monkey grabs the bananas))
+"""
+
+_STARTUP = """
 (startup
   (make goal ^status active ^type holds ^object bananas)
   (make monkey ^at 5-7 ^on floor ^holds nil)
   (make thing ^name bananas ^at 2-2 ^weight light)
   (make thing ^name ladder ^at 9-5 ^weight light))
 """
+
+_SOURCE = _RULES_CORE + _GRAB_HALT + _STARTUP
+
+
+def rules(halt: bool = True) -> str:
+    """The rule set alone (no startup) for the service layer."""
+    return _RULES_CORE + (_GRAB_HALT if halt else _GRAB_ANNOUNCE)
 
 
 def source() -> str:

@@ -260,6 +260,25 @@ def startup_block(n_teams: int, n_rounds: int, n_pools: int = 4) -> str:
     return "\n".join(lines)
 
 
+def rules() -> str:
+    """The rule set alone (no startup) — the service layer seeds the
+    roster and tourney control WMEs through WM transactions."""
+    return "\n".join(
+        [
+            _LITERALIZE,
+            _SEEDING,
+            _START_ROUND,
+            _PROPOSE,
+            _ROUND_DONE,
+            _BYES,
+            _RESET,
+            _REPORT,
+            _VERIFY,
+            _AUDIT,
+        ]
+    )
+
+
 def source(n_teams: int = DEFAULT_TEAMS, n_rounds: int = DEFAULT_ROUNDS) -> str:
     """The original Tourney (cross-product ``propose-match``)."""
     return "\n".join(

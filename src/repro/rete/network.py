@@ -17,6 +17,7 @@ private — and so do we.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,9 @@ class ReteNetwork:
 
     def __init__(self, mode: str = "compiled") -> None:
         self.mode = mode
+        #: Content hash identifying this compiled network (set when the
+        #: caller knows the source text, e.g. the service network cache).
+        self.key: Optional[str] = None
         self.evaluator = make_evaluator(mode)
         self._classes: Dict[str, _ClassEntry] = {}
         self._next_node_id = 1
@@ -76,11 +80,30 @@ class ReteNetwork:
     # -- construction ----------------------------------------------------
 
     @staticmethod
-    def compile(program: Program, mode: str = "compiled") -> "ReteNetwork":
+    def compile(
+        program: Program, mode: str = "compiled", key: Optional[str] = None
+    ) -> "ReteNetwork":
         net = ReteNetwork(mode=mode)
+        net.key = key
         for prod in program.productions:
             net.add_production(prod)
         return net
+
+    @staticmethod
+    def compile_key(source: str, mode: str = "compiled") -> str:
+        """Stable content hash for (program source, compile mode).
+
+        Two texts with the same hash compile to interchangeable
+        networks, so caches may hand out one compiled network for every
+        session running that program.  Line endings are normalized;
+        anything else (whitespace, comments) is deliberately *not* — a
+        cheap, collision-safe key beats a clever one.
+        """
+        digest = hashlib.sha256()
+        digest.update(mode.encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(source.replace("\r\n", "\n").encode("utf-8"))
+        return digest.hexdigest()
 
     def add_production(self, prod: Production) -> TerminalNode:
         """Compile one production into the network."""

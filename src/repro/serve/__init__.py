@@ -1,0 +1,38 @@
+"""``repro.serve`` — the multi-session production-rule service layer.
+
+The paper's PSM-E pipeline (one control process feeding k match
+processes) is fundamentally a *server* shape: a stream of
+working-memory changes arrives, match runs, results come back.  This
+package hosts that shape as an asyncio service:
+
+* :mod:`protocol` — the line-delimited JSON wire format;
+* :mod:`netcache` — compile each OPS5 program once, keyed by content
+  hash, and share the network across every session running it;
+* :mod:`limits` / :mod:`metrics` — budgets, backpressure parameters,
+  counters and latency percentiles;
+* :mod:`session` — one working memory per session over the shared
+  network, with a bounded inbox and an ordered transaction worker;
+* :mod:`server` — the TCP server multiplexing sessions, with graceful
+  drain-on-shutdown;
+* :mod:`traffic` / :mod:`loadgen` — deterministic per-session
+  transaction streams and the concurrent load generator that replays
+  them and verifies firings against sequential replay.
+
+See ``docs/SERVICE.md`` for the protocol and semantics.
+"""
+
+from .limits import BudgetError, ServiceLimits
+from .netcache import NetworkCache
+from .server import ReproServer
+from .session import Busy, Session, SessionCore, TxnResult
+
+__all__ = [
+    "BudgetError",
+    "Busy",
+    "NetworkCache",
+    "ReproServer",
+    "ServiceLimits",
+    "Session",
+    "SessionCore",
+    "TxnResult",
+]

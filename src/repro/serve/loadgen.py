@@ -1,0 +1,320 @@
+"""Concurrent load generator and sequential-replay verifier.
+
+Opens N sessions (one connection each), replays each session's
+deterministic traffic (see :mod:`traffic`) transaction by transaction,
+honouring ``retry_after_ms`` backpressure, and measures client-side
+throughput and latency percentiles.
+
+With ``verify=True`` every session's concatenated firings (in wire
+form) are compared **byte for byte** against a sequential replay of
+the same transactions on a local :class:`~repro.serve.session.SessionCore`
+— the service-level analogue of the parallel engine's "identical
+conflict sets to sequential" check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from .limits import ServiceLimits
+from .netcache import NetworkCache
+from .protocol import decode_line, encode, ops_to_wire
+from .server import ReproServer
+from .session import SessionCore
+from .traffic import Traffic, build, build_from_source
+
+#: Give up on one transaction after this many busy retries.
+MAX_BUSY_RETRIES = 100
+
+
+@dataclass
+class SessionRun:
+    """Client-side record of one session's replay."""
+
+    index: int
+    session_id: str = ""
+    traffic: Optional[Traffic] = None
+    firings: List[list] = field(default_factory=list)
+    outcomes: Counter = field(default_factory=Counter)
+    latencies: List[float] = field(default_factory=list)
+    cycles: int = 0
+    busy_retries: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured."""
+
+    scenario: str
+    sessions: int
+    transactions: int  # per session
+    wall_seconds: float = 0.0
+    txns_ok: int = 0
+    errors: int = 0
+    busy_retries: int = 0
+    outcomes: Counter = field(default_factory=Counter)
+    total_cycles: int = 0
+    total_firings: int = 0
+    latency: Dict[str, float] = field(default_factory=dict)
+    netcache: Dict[str, Any] = field(default_factory=dict)
+    server: Dict[str, Any] = field(default_factory=dict)
+    verified: Optional[bool] = None  # None = verification not requested
+    mismatches: List[str] = field(default_factory=list)
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0 and self.verified is not False
+
+    def format(self) -> str:
+        lines = [
+            f"loadgen scenario={self.scenario} sessions={self.sessions} "
+            f"txns/session={self.transactions} wall={self.wall_seconds:.2f}s",
+            f"  transactions: {self.txns_ok} ok, {self.errors} errors, "
+            f"{self.busy_retries} busy-retries",
+            "  outcomes: "
+            + (
+                " ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
+                or "(none)"
+            ),
+        ]
+        wall = self.wall_seconds or 1e-9
+        lines.append(
+            f"  throughput: {self.txns_ok / wall:.0f} txn/s, "
+            f"{self.total_cycles / wall:.0f} cycles/s, "
+            f"{self.total_firings} firings total"
+        )
+        lat = self.latency
+        if lat:
+            lines.append(
+                f"  latency ms: p50={lat['p50_ms']:.2f} p95={lat['p95_ms']:.2f} "
+                f"p99={lat['p99_ms']:.2f} mean={lat['mean_ms']:.2f}"
+            )
+        if self.netcache:
+            lines.append(
+                f"  netcache: {self.netcache.get('entries', 0)} entries, "
+                f"{self.netcache.get('hits', 0)} hits, "
+                f"{self.netcache.get('misses', 0)} misses"
+            )
+        if self.verified is not None:
+            if self.verified:
+                lines.append(
+                    f"  verify: {self.sessions}/{self.sessions} sessions "
+                    "byte-identical to sequential replay"
+                )
+            else:
+                lines.append("  verify: FAILED")
+                lines.extend(f"    {m}" for m in self.mismatches[:5])
+        for sample in self.error_samples[:5]:
+            lines.append(f"  error: {sample}")
+        return "\n".join(lines)
+
+
+class _Client:
+    """One connection speaking the line protocol, request at a time."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self._next_id = 1
+
+    @staticmethod
+    async def connect(host: str, port: int) -> "_Client":
+        reader, writer = await asyncio.open_connection(host, port)
+        return _Client(reader, writer)
+
+    async def request(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        msg = dict(msg)
+        msg["id"] = self._next_id
+        self._next_id += 1
+        self.writer.write(encode(msg))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run_session(
+    host: str, port: int, run: SessionRun
+) -> None:
+    """Open one session and replay its traffic, sequentially."""
+    traffic = run.traffic
+    assert traffic is not None
+    client = await _Client.connect(host, port)
+    try:
+        resp = await client.request({"type": "open", "program": traffic.program})
+        if not resp.get("ok"):
+            run.errors.append(f"open failed: {resp.get('error')}")
+            return
+        run.session_id = resp["session"]
+        for t, txn in enumerate(traffic.txns):
+            msg = {
+                "type": "transact",
+                "session": run.session_id,
+                "ops": ops_to_wire(list(txn.ops)),
+                "max_cycles": txn.max_cycles,
+            }
+            for _attempt in range(MAX_BUSY_RETRIES + 1):
+                start = perf_counter()
+                resp = await client.request(msg)
+                if resp.get("ok"):
+                    run.latencies.append(perf_counter() - start)
+                    run.firings.extend(resp["firings"])
+                    run.outcomes[resp["outcome"]] += 1
+                    run.cycles += resp["cycles"]
+                    break
+                err = resp.get("error", {})
+                if err.get("code") == "busy":
+                    run.busy_retries += 1
+                    await asyncio.sleep(err.get("retry_after_ms", 50) / 1e3)
+                    continue
+                run.errors.append(f"txn {t}: {err.get('code')}: {err.get('message')}")
+                break
+            else:
+                run.errors.append(f"txn {t}: still busy after {MAX_BUSY_RETRIES} retries")
+        resp = await client.request({"type": "close", "session": run.session_id})
+        if not resp.get("ok"):
+            run.errors.append(f"close failed: {resp.get('error')}")
+    except (ConnectionError, OSError) as exc:
+        run.errors.append(f"connection error: {exc}")
+    finally:
+        await client.close()
+
+
+def _replay_sequential(run: SessionRun, cache: NetworkCache) -> List[list]:
+    """The same traffic, one session at a time, on a local core."""
+    traffic = run.traffic
+    assert traffic is not None
+    entry, _cached = cache.get(traffic.program)
+    core = SessionCore(f"replay-{run.index}", entry)
+    fired: List[list] = []
+    try:
+        for txn in traffic.txns:
+            result = core.transact(list(txn.ops), max_cycles=txn.max_cycles)
+            fired.extend(
+                [f.cycle, f.production, list(f.timetags)] for f in result.firings
+            )
+    finally:
+        core.close()
+    return fired
+
+
+def verify_runs(runs: List[SessionRun]) -> Tuple[bool, List[str]]:
+    """Byte-compare each session's concurrent firings with sequential
+    replay.  One fresh cache serves every replay, so the verification
+    path itself exercises cross-session network sharing."""
+    cache = NetworkCache()
+    mismatches: List[str] = []
+    for run in runs:
+        expected = json.dumps(_replay_sequential(run, cache), separators=(",", ":"))
+        actual = json.dumps(run.firings, separators=(",", ":"))
+        if expected != actual:
+            mismatches.append(
+                f"session {run.index} ({run.session_id or '?'}): "
+                f"{len(run.firings)} firings vs {expected.count('[') - 1} expected"
+            )
+    return not mismatches, mismatches
+
+
+async def run_loadgen(
+    scenario: str = "blocks",
+    sessions: int = 20,
+    transactions: int = 50,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    spawn: bool = False,
+    verify: bool = False,
+    seed: int = 0,
+    program_source: Optional[str] = None,
+    limits: Optional[ServiceLimits] = None,
+    shutdown_after: bool = False,
+) -> LoadReport:
+    """Drive a server with ``sessions`` concurrent replayed streams.
+
+    ``spawn=True`` hosts a :class:`ReproServer` in-process on an
+    ephemeral port (the CI- and test-friendly mode); otherwise
+    ``host``/``port`` name a running server.  ``shutdown_after`` sends
+    a ``shutdown`` request once the run (and stats scrape) is done.
+    """
+    runs: List[SessionRun] = []
+    for i in range(sessions):
+        if program_source is not None:
+            traffic = build_from_source(program_source, transactions)
+        else:
+            traffic = build(scenario, i, transactions, seed)
+        runs.append(SessionRun(index=i, traffic=traffic))
+
+    server: Optional[ReproServer] = None
+    if spawn:
+        server = ReproServer(limits=limits)
+        host, port = await server.start()
+    assert host is not None and port is not None
+
+    started = perf_counter()
+    try:
+        await asyncio.gather(*(_run_session(host, port, run) for run in runs))
+        wall = perf_counter() - started
+
+        stats: Dict[str, Any] = {}
+        try:
+            client = await _Client.connect(host, port)
+            resp = await client.request({"type": "stats"})
+            if resp.get("ok"):
+                stats = resp
+            if shutdown_after:
+                await client.request({"type": "shutdown"})
+            await client.close()
+        except (ConnectionError, OSError):
+            pass
+    finally:
+        if server is not None:
+            await server.shutdown()
+
+    report = LoadReport(
+        scenario=scenario if program_source is None else "file",
+        sessions=sessions,
+        transactions=transactions,
+        wall_seconds=wall,
+    )
+    latencies: List[float] = []
+    for run in runs:
+        report.txns_ok += sum(run.outcomes.values())
+        report.errors += len(run.errors)
+        report.error_samples.extend(run.errors)
+        report.busy_retries += run.busy_retries
+        report.outcomes.update(run.outcomes)
+        report.total_cycles += run.cycles
+        report.total_firings += len(run.firings)
+        latencies.extend(run.latencies)
+    if latencies:
+        ordered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            rank = max(1, -(-len(ordered) * p // 100))
+            return ordered[int(rank) - 1] * 1e3
+
+        report.latency = {
+            "p50_ms": pct(50),
+            "p95_ms": pct(95),
+            "p99_ms": pct(99),
+            "mean_ms": sum(ordered) / len(ordered) * 1e3,
+        }
+    report.netcache = stats.get("netcache", {})
+    report.server = stats.get("server", {})
+    if verify:
+        report.verified, report.mismatches = verify_runs(runs)
+    return report

@@ -1,0 +1,183 @@
+"""Deterministic per-session transaction streams for the load generator.
+
+A *scenario* turns ``(session_index, n_transactions, seed)`` into a
+program text plus an ordered list of :class:`Txn` — so the same tuple
+always produces byte-identical traffic, which is what lets the load
+generator verify a concurrent run against sequential replay.
+
+The streams mirror how a service ingests a production system: the
+``(startup ...)`` block is replaced by WM transactions (some with a
+cycle budget of 0, pure ingestion), and recognize-act work is spread
+across budgeted, resumable run requests.  Small budgets are chosen on
+purpose: some transactions end ``exhausted`` and the next one resumes,
+exercising the step-budgeted cycle API under load.
+
+All sessions of one scenario share a single program text, so a
+20-session run compiles each network exactly once (see
+:mod:`repro.serve.netcache`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..ops5.interpreter import WMOp
+from ..programs import blocks, monkey, tourney
+
+SCENARIOS = ("blocks", "monkey", "tourney", "mix")
+
+
+@dataclass(frozen=True)
+class Txn:
+    """One batched WM transaction plus its cycle budget."""
+
+    ops: Tuple[WMOp, ...] = ()
+    max_cycles: int = 0
+
+
+@dataclass
+class Traffic:
+    """One session's worth of load: the program and its transactions."""
+
+    scenario: str
+    program: str
+    txns: List[Txn] = field(default_factory=list)
+
+
+def build(
+    scenario: str, session_index: int, n_transactions: int, seed: int = 0
+) -> Traffic:
+    """The deterministic stream for one session of a scenario."""
+    if scenario == "mix":
+        # Alternate the two headline programs so one run exercises the
+        # network cache with several entries at once.
+        inner = "blocks" if session_index % 2 == 0 else "tourney"
+        traffic = build(inner, session_index, n_transactions, seed)
+        return Traffic(scenario="mix", program=traffic.program, txns=traffic.txns)
+    rng = random.Random((seed * 1_000_003 + session_index) & 0x7FFFFFFF)
+    if scenario == "blocks":
+        return _blocks_traffic(rng, n_transactions)
+    if scenario == "monkey":
+        return _monkey_traffic(rng, n_transactions)
+    if scenario == "tourney":
+        return _tourney_traffic(rng, n_transactions)
+    raise ValueError(
+        f"unknown scenario {scenario!r}; expected one of {', '.join(SCENARIOS)}"
+    )
+
+
+def build_from_source(source: str, n_transactions: int, budget: int = 50) -> Traffic:
+    """Generic traffic for an arbitrary program file: startup runs at
+    session open, then ``n_transactions`` empty budgeted run requests
+    step the program forward."""
+    txns = [Txn(ops=(), max_cycles=budget) for _ in range(n_transactions)]
+    return Traffic(scenario="file", program=source, txns=txns)
+
+
+# ---------------------------------------------------------------------------
+# blocks: a stream of stacking episodes, one goal per transaction
+# ---------------------------------------------------------------------------
+
+
+def _blocks_traffic(rng: random.Random, n_transactions: int) -> Traffic:
+    """Each transaction ships a fresh mini blocks-world episode (two or
+    three blocks and a goal) and a small budget; roughly every third
+    episode needs un-stacking first, and budgets are tight enough that
+    longer episodes spill into the next transaction (resume path)."""
+    txns: List[Txn] = [
+        # Transaction 0 seeds the control element only.
+        Txn(ops=(WMOp.make("phase", {"step": "idle"}),), max_cycles=0)
+    ]
+    for e in range(1, n_transactions):
+        a, b, c = f"a{e}", f"b{e}", f"c{e}"
+        if rng.random() < 0.35:
+            # Stacked episode: move the buried block, forcing clears.
+            ops = (
+                WMOp.make("block", {"name": a, "on": "table", "clear": "no"}),
+                WMOp.make("block", {"name": b, "on": a, "clear": "yes"}),
+                WMOp.make("block", {"name": c, "on": "table", "clear": "yes"}),
+                WMOp.make("goal", {"put": a, "onto": c, "done": "no"}),
+            )
+        else:
+            ops = (
+                WMOp.make("block", {"name": b, "on": "table", "clear": "yes"}),
+                WMOp.make("block", {"name": c, "on": "table", "clear": "yes"}),
+                WMOp.make("goal", {"put": b, "onto": c, "done": "no"}),
+            )
+        txns.append(Txn(ops=ops, max_cycles=rng.choice((3, 4, 8))))
+    return Traffic(scenario="blocks", program=blocks.rules(halt=False), txns=txns)
+
+
+# ---------------------------------------------------------------------------
+# monkey: one episode fed in chunks, then budgeted stepping
+# ---------------------------------------------------------------------------
+
+
+def _monkey_traffic(rng: random.Random, n_transactions: int) -> Traffic:
+    """Feed the classic four startup WMEs over two ingestion
+    transactions (varying the coordinates per session), then step the
+    plan forward two cycles at a time."""
+    spots = [f"{rng.randint(1, 9)}-{rng.randint(1, 9)}" for _ in range(3)]
+    while spots[0] == spots[1]:  # monkey must start away from the bananas
+        spots[1] = f"{rng.randint(1, 9)}-{rng.randint(1, 9)}"
+    txns: List[Txn] = [
+        Txn(
+            ops=(
+                WMOp.make("goal", {"status": "active", "type": "holds", "object": "bananas"}),
+                WMOp.make("monkey", {"at": spots[1], "on": "floor", "holds": "nil"}),
+            ),
+            max_cycles=0,
+        ),
+        Txn(
+            ops=(
+                WMOp.make("thing", {"name": "bananas", "at": spots[0], "weight": "light"}),
+                WMOp.make("thing", {"name": "ladder", "at": spots[2], "weight": "light"}),
+            ),
+            max_cycles=0,
+        ),
+    ]
+    while len(txns) < n_transactions:
+        txns.append(Txn(ops=(), max_cycles=2))
+    return Traffic(
+        scenario="monkey", program=monkey.rules(halt=False), txns=txns[:n_transactions]
+    )
+
+
+# ---------------------------------------------------------------------------
+# tourney: roster ingestion, then budgeted rounds (the cross-product load)
+# ---------------------------------------------------------------------------
+
+
+def _tourney_traffic(rng: random.Random, n_transactions: int) -> Traffic:
+    """Seed the tournament through transactions — control WMEs first,
+    then the roster two teams at a time with budget 0 — and then run
+    the rounds in budgeted slices.  ``propose-match`` is the paper's
+    cross-product culprit, so this is the scenario that stresses one
+    session's budget isolation."""
+    n_teams = 6 + 2 * rng.randint(0, 3)  # 6..12, even
+    n_rounds = 2 + rng.randint(0, 2)
+    txns: List[Txn] = [
+        Txn(
+            ops=(
+                WMOp.make("phase", {"step": "seed"}),
+                WMOp.make(
+                    "tourney",
+                    {"round": 1, "state": "idle", "max": n_rounds, "count": 0},
+                ),
+            ),
+            max_cycles=0,
+        )
+    ]
+    roster = [
+        WMOp.make("roster", {"id": i, "pool": f"p{(i - 1) % 4}"})
+        for i in range(1, n_teams + 1)
+    ]
+    for i in range(0, len(roster), 2):
+        txns.append(Txn(ops=tuple(roster[i : i + 2]), max_cycles=0))
+    while len(txns) < n_transactions:
+        txns.append(Txn(ops=(), max_cycles=8))
+    return Traffic(
+        scenario="tourney", program=tourney.rules(), txns=txns[:n_transactions]
+    )

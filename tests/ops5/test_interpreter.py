@@ -143,3 +143,149 @@ class TestErrors:
         with Interpreter(figure_2_1) as interp:
             interp.run()
         # Sequential matcher has no close; the protocol is a no-op.
+
+
+class TestClose:
+    def test_close_is_idempotent(self, figure_2_1):
+        interp = Interpreter(figure_2_1)
+        interp.close()
+        interp.close()  # second call must be a no-op, not an error
+
+    def test_close_after_context_exit(self, figure_2_1):
+        with Interpreter(figure_2_1) as interp:
+            interp.run()
+        interp.close()  # explicit close after __exit__ already closed
+
+    def test_close_releases_matcher_once(self, figure_2_1):
+        closes = []
+
+        class Closeable:
+            def process_changes(self, changes):
+                return []
+
+            def close(self):
+                closes.append(1)
+
+        interp = Interpreter(figure_2_1, matcher=Closeable())
+        with interp:
+            pass
+        interp.close()
+        interp.close()
+        assert closes == [1]
+
+
+class TestOutcomes:
+    SPIN = "(p l (a ^n <n>) --> (modify 1 ^n (compute <n> + 1)))(startup (make a ^n 0))"
+
+    def test_halted_outcome(self):
+        _, r = run_program("(p r (a) --> (halt)) (startup (make a))")
+        assert r.outcome == "halted"
+        assert r.halted and not r.exhausted
+
+    def test_quiescent_outcome(self):
+        _, r = run_program("(p r (a) --> (halt)) (startup (make b))")
+        assert r.outcome == "quiescent"
+        assert not r.halted and not r.exhausted
+
+    def test_exhausted_outcome_distinct_from_quiescence(self):
+        _, r = run_program(self.SPIN, max_cycles=5)
+        assert r.cycles == 5
+        assert r.outcome == "exhausted"
+        assert r.exhausted and not r.halted
+
+    def test_exact_budget_finish_is_not_exhausted(self):
+        # One firing available, budget of exactly one: the budget is
+        # spent but nothing is left waiting, so this is quiescence.
+        _, r = run_program(
+            "(p r (a) --> (remove 1)) (startup (make a))", max_cycles=1
+        )
+        assert r.cycles == 1
+        assert r.outcome == "quiescent"
+
+    def test_run_cycles_resumes_and_reports_slices(self):
+        interp = Interpreter(self.SPIN)
+        first = interp.run_cycles(3)
+        second = interp.run_cycles(2)
+        assert first.outcome == "exhausted" and len(first.firings) == 3
+        assert second.outcome == "exhausted" and len(second.firings) == 2
+        assert second.cycles == 5  # cumulative cycle counter
+        assert len(second.output) == 0  # slice-local output only
+
+    def test_zero_budget_runs_nothing(self):
+        interp = Interpreter(self.SPIN)
+        r = interp.run_cycles(0)
+        assert r.firings == [] and r.outcome == "exhausted"
+
+    def test_deadline_outcome(self):
+        interp = Interpreter(self.SPIN)
+        from time import monotonic
+
+        r = interp.run_cycles(10_000, deadline=monotonic())  # already past
+        assert r.outcome == "deadline"
+        assert r.deadline_hit and not r.exhausted
+
+
+class TestApplyTransaction:
+    def _fresh(self):
+        return Interpreter("(p r (a ^n <n>) (b) --> (write pair <n>))")
+
+    def test_make_returns_timetags_in_op_order(self):
+        from repro.ops5.interpreter import WMOp
+
+        interp = self._fresh()
+        tags = interp.apply_transaction(
+            [WMOp.make("a", {"n": 1}), WMOp.make("b")]
+        )
+        assert tags == [1, 2]
+        assert len(interp.conflict_set) == 1
+
+    def test_modify_creates_fresh_timetag(self):
+        from repro.ops5.interpreter import WMOp
+
+        interp = self._fresh()
+        (tag, _) = interp.apply_transaction(
+            [WMOp.make("a", {"n": 1}), WMOp.make("b")]
+        )
+        (new,) = interp.apply_transaction([WMOp.modify(tag, {"n": 2})])
+        assert new != tag
+        assert interp.wm.by_timetag(tag) is None
+        assert interp.wm.by_timetag(new).get("n") == 2
+
+    def test_invalid_op_rolls_back_everything(self):
+        from repro.ops5.interpreter import TransactionError, WMOp
+
+        interp = self._fresh()
+        with pytest.raises(TransactionError):
+            interp.apply_transaction(
+                [WMOp.make("a", {"n": 1}), WMOp.remove(77)]
+            )
+        assert len(interp.wm) == 0
+        assert len(interp.conflict_set) == 0
+
+    def test_remove_then_modify_same_timetag_rejected(self):
+        from repro.ops5.interpreter import TransactionError, WMOp
+
+        interp = self._fresh()
+        (tag,) = interp.apply_transaction([WMOp.make("a", {"n": 1})])
+        with pytest.raises(TransactionError):
+            interp.apply_transaction(
+                [WMOp.remove(tag), WMOp.modify(tag, {"n": 2})]
+            )
+        assert interp.wm.by_timetag(tag) is not None
+
+    def test_unknown_op_kind_rejected(self):
+        from repro.ops5.interpreter import TransactionError, WMOp
+
+        interp = self._fresh()
+        with pytest.raises(TransactionError):
+            interp.apply_transaction([WMOp(op="explode")])
+
+    def test_batch_feeds_matcher_once(self):
+        from repro.ops5.interpreter import WMOp
+
+        interp = self._fresh()
+        interp.apply_transaction(
+            [WMOp.make("a", {"n": 1}), WMOp.make("a", {"n": 2}), WMOp.make("b")]
+        )
+        r = interp.run(max_cycles=10)
+        assert sorted(r.output) == ["pair 1", "pair 2"]

@@ -1,0 +1,92 @@
+"""Load-generator tests, including the acceptance-scale concurrent run."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.loadgen import LoadReport, run_loadgen
+from repro.serve.traffic import SCENARIOS, build
+
+from .conftest import COUNTER
+
+
+class TestTraffic:
+    def test_deterministic_per_tuple(self):
+        a = build("blocks", 3, 8, seed=1)
+        b = build("blocks", 3, 8, seed=1)
+        assert a.program == b.program
+        assert a.txns == b.txns
+
+    def test_sessions_differ_but_share_program(self):
+        a = build("tourney", 0, 8)
+        b = build("tourney", 1, 8)
+        assert a.program == b.program  # one netcache entry per scenario
+        assert a.txns != b.txns
+
+    @pytest.mark.parametrize("scenario", [s for s in SCENARIOS if s != "mix"])
+    def test_txn_counts_match_request(self, scenario):
+        traffic = build(scenario, 2, 10)
+        assert len(traffic.txns) == 10
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            build("bogus", 0, 4)
+
+
+class TestLoadgen:
+    def test_acceptance_twenty_sessions_verified(self):
+        """The issue's acceptance demo: >= 20 concurrent sessions over
+        the cached blocks/tourney networks, zero protocol errors, and
+        byte-identical firings against sequential replay."""
+        report = asyncio.run(
+            run_loadgen(
+                scenario="mix", sessions=20, transactions=10,
+                spawn=True, verify=True,
+            )
+        )
+        assert report.ok
+        assert report.errors == 0
+        assert report.verified is True
+        assert report.txns_ok == 200
+        # blocks + tourney compiled once each, reused 18 times total.
+        assert report.netcache["entries"] == 2
+        assert report.netcache["misses"] == 2
+        assert report.netcache["hits"] == 18
+        text = report.format()
+        assert "verify: 20/20 sessions byte-identical" in text
+        assert "latency ms:" in text
+        assert "throughput:" in text
+
+    def test_monkey_scenario_verified(self):
+        report = asyncio.run(
+            run_loadgen(
+                scenario="monkey", sessions=3, transactions=8,
+                spawn=True, verify=True, seed=5,
+            )
+        )
+        assert report.ok and report.verified is True
+        assert report.outcomes  # budget-0 ingestion + budgeted stepping
+
+    def test_program_file_traffic(self):
+        report = asyncio.run(
+            run_loadgen(
+                sessions=2, transactions=3, spawn=True, verify=True,
+                program_source=COUNTER,
+            )
+        )
+        assert report.ok and report.scenario == "file"
+
+    def test_report_ok_logic(self):
+        assert LoadReport("s", 1, 1).ok
+        assert not LoadReport("s", 1, 1, errors=1).ok
+        assert not LoadReport("s", 1, 1, verified=False).ok
+        assert LoadReport("s", 1, 1, verified=True).ok
+
+    def test_shutdown_after_stops_spawned_server(self):
+        report = asyncio.run(
+            run_loadgen(
+                scenario="monkey", sessions=2, transactions=3,
+                spawn=True, shutdown_after=True,
+            )
+        )
+        assert report.ok

@@ -1,0 +1,105 @@
+"""Wire-format tests: framing, op validation, firings encoding."""
+
+import json
+
+import pytest
+
+from repro.ops5.interpreter import Firing, WMOp
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    firings_to_wire,
+    ok_response,
+    ops_from_wire,
+    ops_to_wire,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        raw = encode({"id": 1, "type": "ping"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert b" " not in raw  # compact separators
+
+    def test_roundtrip(self):
+        msg = {"id": 7, "type": "transact", "ops": []}
+        assert decode_line(encode(msg)) == msg
+
+    def test_invalid_json_is_protocol_error(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_line(b"{nope\n")
+        assert exc.value.code == E_BAD_REQUEST
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1,2,3]\n")
+
+    def test_error_response_carries_retry_after(self):
+        resp = error_response(3, "busy", "full", retry_after_ms=50.0)
+        assert resp["ok"] is False
+        assert resp["error"]["retry_after_ms"] == 50.0
+        assert "retry_after_ms" not in error_response(3, "busy", "full")["error"]
+
+    def test_ok_response_echoes_id(self):
+        assert ok_response(9, pong=True) == {"id": 9, "ok": True, "pong": True}
+
+
+class TestOpsFromWire:
+    def test_make_remove_modify(self):
+        ops = ops_from_wire(
+            [
+                {"op": "make", "class": "a", "attrs": {"x": 1}},
+                {"op": "remove", "timetag": 4},
+                {"op": "modify", "timetag": 5, "attrs": {"x": "y"}},
+            ]
+        )
+        assert ops == [
+            WMOp.make("a", {"x": 1}),
+            WMOp.remove(4),
+            WMOp.modify(5, {"x": "y"}),
+        ]
+
+    def test_none_means_no_ops(self):
+        assert ops_from_wire(None) == []
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-list",
+            [42],
+            [{"op": "explode"}],
+            [{"op": "make"}],  # no class
+            [{"op": "make", "class": ""}],
+            [{"op": "remove", "timetag": "four"}],
+            [{"op": "remove", "timetag": True}],  # bool is not a timetag
+            [{"op": "modify", "timetag": 1, "attrs": {"x": True}}],
+            [{"op": "make", "class": "a", "attrs": {"x": [1]}}],
+            [{"op": "make", "class": "a", "attrs": "nope"}],
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProtocolError) as exc:
+            ops_from_wire(bad)
+        assert exc.value.code == E_BAD_REQUEST
+
+    def test_wire_roundtrip(self):
+        ops = [
+            WMOp.make("block", {"on": "table", "n": 3}),
+            WMOp.remove(9),
+            WMOp.modify(2, {"n": 4}),
+        ]
+        assert ops_from_wire(ops_to_wire(ops)) == ops
+
+
+class TestFiringsToWire:
+    def test_canonical_triples(self):
+        wire = firings_to_wire(
+            [Firing(cycle=3, production="p1", timetags=(4, 5))]
+        )
+        assert wire == [[3, "p1", [4, 5]]]
+        # Must be JSON-stable: the loadgen byte-compares this form.
+        assert json.dumps(wire) == json.dumps([[3, "p1", [4, 5]]])

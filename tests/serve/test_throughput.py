@@ -1,0 +1,23 @@
+"""Smoke test for the service-throughput harness experiment."""
+
+from repro.harness.experiments import ALL_TABLES
+from repro.harness.serve_throughput import serve_throughput
+
+
+def test_serve_throughput_smoke():
+    result = serve_throughput(
+        session_counts=(1, 2), transactions=4, scenarios=("blocks",)
+    )
+    assert result.table_id == "serve-throughput"
+    assert set(result.data) == {("blocks", 1), ("blocks", 2)}
+    for entry in result.data.values():
+        assert entry["errors"] == 0
+        assert entry["txn_s"] > 0
+    assert "Service throughput" in result.report
+    assert "txn/s" in result.report
+
+
+def test_not_in_paper_tables():
+    # Wall-clock throughput is machine-dependent; `repro tables` output
+    # must stay reproducible, so this experiment is opt-in only.
+    assert "serve-throughput" not in ALL_TABLES

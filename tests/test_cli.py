@@ -133,6 +133,74 @@ class TestReadProgramErrors:
         assert missing in str(exc.value)
 
 
+class TestServe:
+    def test_bad_port_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "70000"])
+        assert str(exc.value) == "repro serve: invalid port 70000; expected 0-65535"
+
+    def test_negative_port_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "-1"])
+        assert "repro serve: invalid port" in str(exc.value)
+
+    def test_unreadable_preload_is_clean_exit(self, tmp_path):
+        missing = str(tmp_path / "nope.ops5")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--preload", missing])
+        assert str(exc.value).startswith("repro serve: cannot read")
+        assert missing in str(exc.value)
+
+    def test_bad_limits_are_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--inbox-depth", "0"])
+        assert str(exc.value).startswith("repro serve: ")
+
+
+class TestLoadgen:
+    def test_needs_a_target(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen"])
+        assert str(exc.value) == "repro loadgen: need --connect HOST:PORT or --spawn"
+
+    def test_connect_and_spawn_are_exclusive(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--connect", "h:1", "--spawn"])
+        assert "exclusive" in str(exc.value)
+
+    @pytest.mark.parametrize("target", ["nohost", ":80", "host:", "host:zap",
+                                        "host:0", "host:70000"])
+    def test_bad_connect_is_clean_exit(self, target):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--connect", target])
+        assert f"repro loadgen: bad --connect {target!r}" in str(exc.value)
+
+    def test_unknown_scenario_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--spawn", "--scenario", "bogus"])
+        assert "repro loadgen: unknown scenario 'bogus'" in str(exc.value)
+        assert "blocks, monkey, tourney, mix" in str(exc.value)
+
+    def test_unreadable_program_is_clean_exit(self, tmp_path):
+        missing = str(tmp_path / "nope.ops5")
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--spawn", "--program", missing])
+        assert str(exc.value).startswith("repro loadgen: cannot read")
+
+    def test_nonpositive_counts_are_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--spawn", "--sessions", "0"])
+        assert "must be positive" in str(exc.value)
+
+    def test_spawn_smoke_exits_zero(self, capsys):
+        assert main(["loadgen", "--spawn", "--scenario", "monkey",
+                     "--sessions", "2", "--transactions", "4",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: 2/2 sessions byte-identical" in out
+        assert "0 errors" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
