@@ -24,6 +24,16 @@ Commands
     configuration grid (``--sweep N``).  Same seed, same report —
     byte for byte — so a failing CI seed can be replayed locally.
 
+``trace FILE|BUILTIN``
+    Run a program under the :mod:`repro.obs` event bus; write a
+    Chrome-trace JSON file (load it at https://ui.perfetto.dev) and
+    print the hot-spot profile.  ``--parallel K`` traces the threaded
+    engine's worker timelines (see docs/OBSERVABILITY.md).
+
+``top FILE|BUILTIN``
+    Run a program and print one hot-spot table — ``--by
+    production|node|lock|phase`` — hottest entries first.
+
 ``serve``
     Host OPS5 sessions over a line-delimited JSON protocol: many
     concurrent working memories over shared compiled Rete networks,
@@ -175,6 +185,96 @@ def cmd_schedck(args: argparse.Namespace) -> int:
     return 0 if report.ok and not report.truncated else 1
 
 
+#: Program names ``trace``/``top`` resolve when the argument is not a file.
+_BUILTIN_PROGRAMS = ("blocks", "monkey", "tourney", "rubik", "weaver")
+
+
+def _resolve_program_source(name_or_path: str, verb: str) -> str:
+    """Program text from a file path or a builtin benchmark name."""
+    import os
+
+    if os.path.exists(name_or_path):
+        return _read_source(name_or_path, verb)
+    if name_or_path in _BUILTIN_PROGRAMS:
+        from . import programs
+
+        return getattr(programs, name_or_path).source()
+    raise SystemExit(
+        f"repro {verb}: {name_or_path!r} is neither a file nor a builtin "
+        f"program ({', '.join(_BUILTIN_PROGRAMS)})"
+    )
+
+
+def _traced_run(args: argparse.Namespace, verb: str):
+    """Run one program with the event bus on; returns
+    ``(run result, match stats, network, snapshot)``."""
+    from .obs import events as obs_events
+
+    program = parse_program(_resolve_program_source(args.file, verb))
+    network = ReteNetwork.compile(program)
+    if args.parallel:
+        from .parallel.engine import ParallelMatcher
+
+        matcher = ParallelMatcher(
+            network,
+            n_workers=args.parallel,
+            n_queues=args.queues,
+            lock_scheme=args.locks,
+        )
+        interp = Interpreter(program, matcher=matcher, network=network)
+    else:
+        interp = Interpreter(program, network=network)
+    obs_events.reset()
+    obs_events.enable(max_events_per_worker=args.max_events)
+    try:
+        result = interp.run(max_cycles=args.max_cycles)
+        stats = interp.stats
+    finally:
+        interp.close()
+        snap = obs_events.snapshot()
+        obs_events.disable()
+    return result, stats, network, snap
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import profile as obs_profile
+    from .obs.export import write_chrome_trace
+
+    result, stats, network, snap = _traced_run(args, "trace")
+    n_events = write_chrome_trace(args.out, snap)
+    profile = obs_profile.build(snap, network=network)
+    print(obs_profile.render_text(profile, limit=args.limit))
+    agreement = (
+        "equal"
+        if profile.total_activations == stats.node_activations
+        else "MISMATCH"
+    )
+    print()
+    print(f"run: cycles={result.cycles} halted={result.halted}")
+    print(
+        f"profile activations={profile.total_activations} "
+        f"match node_activations={stats.node_activations} ({agreement})"
+    )
+    print(f"trace: {n_events} events -> {args.out}")
+    return 0 if agreement == "equal" else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs import profile as obs_profile
+
+    _result, _stats, network, snap = _traced_run(args, "top")
+    profile = obs_profile.build(snap, network=network)
+    pruned = obs_profile.Profile(
+        nodes=profile.nodes if args.by == "node" else [],
+        productions=profile.productions if args.by == "production" else [],
+        locks=profile.locks if args.by == "lock" else [],
+        phases=profile.phases if args.by == "phase" else [],
+        dropped=profile.dropped,
+    )
+    print(obs_profile.render_text(pruned, limit=args.limit))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -262,6 +362,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             program_source=program_source,
             shutdown_after=args.shutdown_after,
+            trace_path=args.trace_out,
         )
     )
     print(report.format())
@@ -317,6 +418,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sck.add_argument("--max-steps", type=int, default=200_000)
     p_sck.set_defaults(func=cmd_schedck)
 
+    def _engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--parallel", type=int, default=0, metavar="K",
+                       help="use the threaded parallel matcher with K workers")
+        p.add_argument("--queues", type=int, default=1)
+        p.add_argument("--locks", choices=["simple", "mrsw"], default="simple")
+        p.add_argument("--max-cycles", type=int, default=100000)
+        p.add_argument("--max-events", type=int, default=200_000,
+                       help="per-worker span buffer cap")
+        p.add_argument("--limit", type=int, default=15,
+                       help="rows per hot-spot table")
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="run a program under the obs event bus; export a Chrome trace",
+    )
+    p_trc.add_argument("file",
+                       help="program file, or builtin: "
+                            "blocks | monkey | tourney | rubik | weaver")
+    p_trc.add_argument("--out", default="trace.json",
+                       help="Chrome-trace JSON output path (Perfetto-loadable)")
+    _engine_flags(p_trc)
+    p_trc.set_defaults(func=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="run a program and print one hot-spot table"
+    )
+    p_top.add_argument("file",
+                       help="program file, or builtin: "
+                            "blocks | monkey | tourney | rubik | weaver")
+    p_top.add_argument("--by", choices=["production", "node", "lock", "phase"],
+                       default="production")
+    _engine_flags(p_top)
+    p_top.set_defaults(func=cmd_top)
+
     p_srv = sub.add_parser(
         "serve", help="host OPS5 sessions over a line-JSON protocol"
     )
@@ -353,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--seed", type=int, default=0)
     p_lg.add_argument("--shutdown-after", action="store_true",
                       help="send a shutdown request when the run is done")
+    p_lg.add_argument("--trace-out", metavar="FILE",
+                      help="enable the obs event bus for the run and write "
+                           "a Chrome-trace JSON file")
     p_lg.set_defaults(func=cmd_loadgen)
 
     return parser

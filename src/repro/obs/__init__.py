@@ -1,0 +1,24 @@
+"""repro.obs — unified tracing, metrics, and profiling.
+
+One observability layer shared by every engine in the repository: the
+sequential Rete matcher, the threaded parallel runtime, the OPS5
+recognize-act interpreter, and the service layer all report into the
+same structured event bus (:mod:`repro.obs.events`), which feeds
+
+* hot-spot profiles (:mod:`repro.obs.profile`) — per-node,
+  per-production, per-lock, and per-phase tables, and
+* exporters (:mod:`repro.obs.export`) — Chrome-trace JSON for
+  ``chrome://tracing``/Perfetto, and a Prometheus-style text
+  exposition of the service counters.
+
+The paper's contribution is *measured* — nine tables of timings and
+contention counts — and this package is the runtime evidence chain for
+our own measurements: every instrumentation point is guarded by a
+module-level enabled flag so a disabled build pays one attribute read
+per probe and allocates nothing (see docs/OBSERVABILITY.md for the
+overhead guarantee).
+"""
+
+from .events import disable, enable, enabled, reset, snapshot
+
+__all__ = ["enable", "disable", "enabled", "reset", "snapshot"]

@@ -1,0 +1,217 @@
+"""The structured event bus: spans, counters, and hot-spot accumulators.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  Every instrumentation point in the
+   engines reads the module-level :data:`ENABLED` flag *before*
+   computing timestamps or allocating anything; a disabled probe is one
+   module-attribute read and a branch.
+
+2. **Lock-aware, contention-free recording.**  The parallel engine's
+   match threads report concurrently.  Each thread writes into its own
+   :class:`_WorkerBuffer` (reached through a ``threading.local``), so
+   recording never takes a lock — the only synchronized operation is
+   buffer *registration*, once per thread per epoch.  This matters
+   because the layer instruments spin locks themselves: a lock inside
+   the event path would perturb exactly the contention it measures.
+
+3. **Bounded memory.**  Span buffers are capped per worker
+   (:data:`DEFAULT_MAX_EVENTS`); overflowing spans are counted in
+   ``dropped`` instead of stored.  Hot-path aggregates (per-node,
+   per-lock, counters) are fixed-size dictionaries keyed by node id /
+   lock label and never grow with run length.
+
+Timestamps are monotonic ``time.perf_counter_ns`` integers; spans are
+plain tuples ``(t0_ns, dur_ns, cat, name, args)``.  ``snapshot()``
+merges all live buffers into an immutable :class:`ObsSnapshot` without
+stopping collection.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter_ns
+from typing import Any, Dict, List, Optional, Tuple
+
+#: THE flag.  Instrumentation sites check this before any allocation:
+#: ``if events.ENABLED: ...``.  Toggle through :func:`enable` /
+#: :func:`disable` only.
+ENABLED = False
+
+#: Per-worker span cap; beyond it spans are dropped (and counted).
+DEFAULT_MAX_EVENTS = 200_000
+
+#: Monotonic nanosecond clock used for every span boundary.
+now = perf_counter_ns
+
+_SPAN = Tuple[int, int, str, str, Optional[dict]]
+
+
+class _WorkerBuffer:
+    """One thread's private event storage.  Never shared for writing."""
+
+    __slots__ = ("name", "epoch", "max_events", "spans", "dropped",
+                 "nodes", "locks", "counters")
+
+    def __init__(self, name: str, epoch: int, max_events: int) -> None:
+        self.name = name
+        self.epoch = epoch
+        self.max_events = max_events
+        self.spans: List[_SPAN] = []
+        self.dropped = 0
+        # node_id -> [kind, activations, self_ns, tokens_examined, emitted]
+        self.nodes: Dict[int, list] = {}
+        # label -> [acquires, contended, wait_ns, hold_ns]
+        self.locks: Dict[str, list] = {}
+        self.counters: Dict[str, int] = {}
+
+
+_tls = threading.local()
+_reg_lock = threading.Lock()
+_registry: List[_WorkerBuffer] = []
+_epoch = 0
+_max_events = DEFAULT_MAX_EVENTS
+
+
+def _buffer() -> _WorkerBuffer:
+    buf = getattr(_tls, "buf", None)
+    if buf is None or buf.epoch != _epoch:
+        buf = _WorkerBuffer(threading.current_thread().name, _epoch, _max_events)
+        with _reg_lock:
+            _registry.append(buf)
+        _tls.buf = buf
+    return buf
+
+
+# -- control -----------------------------------------------------------------
+
+
+def enable(max_events_per_worker: int = DEFAULT_MAX_EVENTS) -> None:
+    """Turn collection on (idempotent).  Existing data is kept; call
+    :func:`reset` first for a fresh capture."""
+    global ENABLED, _max_events
+    _max_events = max_events_per_worker
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn collection off.  Buffers stay readable via :func:`snapshot`."""
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded data.  Threads re-register lazily (their cached
+    buffers carry a stale epoch and are abandoned on next use)."""
+    global _epoch
+    with _reg_lock:
+        _epoch += 1
+        _registry.clear()
+
+
+# -- recording (callers must have checked ENABLED) ---------------------------
+
+
+def span(cat: str, name: str, t0: int, t1: int, args: Optional[dict] = None) -> None:
+    """One completed duration event ``[t0, t1]`` (nanoseconds)."""
+    buf = _buffer()
+    if len(buf.spans) >= buf.max_events:
+        buf.dropped += 1
+        return
+    buf.spans.append((t0, t1 - t0, cat, name, args))
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a named counter on the calling thread's buffer."""
+    counters = _buffer().counters
+    counters[name] = counters.get(name, 0) + n
+
+
+def node_hit(node_id: int, kind: str, dur_ns: int, examined: int, emitted: int) -> None:
+    """One node activation: self time plus size features, aggregated
+    per node so a million-activation run stays bounded."""
+    nodes = _buffer().nodes
+    agg = nodes.get(node_id)
+    if agg is None:
+        nodes[node_id] = [kind, 1, dur_ns, examined, emitted]
+    else:
+        agg[1] += 1
+        agg[2] += dur_ns
+        agg[3] += examined
+        agg[4] += emitted
+
+
+def lock_hit(label: str, wait_ns: int, hold_ns: int, contended: bool) -> None:
+    """One completed lock acquire/release pair, aggregated per label."""
+    locks = _buffer().locks
+    agg = locks.get(label)
+    if agg is None:
+        locks[label] = [1, 1 if contended else 0, wait_ns, hold_ns]
+    else:
+        agg[0] += 1
+        if contended:
+            agg[1] += 1
+        agg[2] += wait_ns
+        agg[3] += hold_ns
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+@dataclass
+class ObsSnapshot:
+    """A merged, point-in-time copy of every worker's buffer."""
+
+    #: worker display name -> list of spans (t0_ns, dur_ns, cat, name, args)
+    workers: Dict[str, List[_SPAN]] = field(default_factory=dict)
+    #: node_id -> [kind, activations, self_ns, tokens_examined, emitted]
+    nodes: Dict[int, list] = field(default_factory=dict)
+    #: lock label -> [acquires, contended, wait_ns, hold_ns]
+    locks: Dict[str, list] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+
+    @property
+    def n_spans(self) -> int:
+        return sum(len(s) for s in self.workers.values())
+
+    def spans_by_cat(self, cat: str) -> List[_SPAN]:
+        return [s for spans in self.workers.values() for s in spans if s[2] == cat]
+
+
+def snapshot() -> ObsSnapshot:
+    """Merge all live buffers.  Collection keeps running; concurrent
+    writers may add events not seen by this snapshot, never corrupt it."""
+    snap = ObsSnapshot()
+    with _reg_lock:
+        buffers = list(_registry)
+    for buf in buffers:
+        name = buf.name
+        if name in snap.workers:  # two threads with one name (rare)
+            name = f"{name}#{sum(1 for k in snap.workers if k.split('#')[0] == buf.name)}"
+        snap.workers[name] = list(buf.spans)
+        snap.dropped += buf.dropped
+        for node_id, agg in buf.nodes.items():
+            have = snap.nodes.get(node_id)
+            if have is None:
+                snap.nodes[node_id] = list(agg)
+            else:
+                have[1] += agg[1]
+                have[2] += agg[2]
+                have[3] += agg[3]
+                have[4] += agg[4]
+        for label, agg in buf.locks.items():
+            have = snap.locks.get(label)
+            if have is None:
+                snap.locks[label] = list(agg)
+            else:
+                for i in range(4):
+                    have[i] += agg[i]
+        for key, n in buf.counters.items():
+            snap.counters[key] = snap.counters.get(key, 0) + n
+    return snap

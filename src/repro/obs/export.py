@@ -1,0 +1,186 @@
+"""Exporters: Chrome-trace JSON and Prometheus-style text exposition.
+
+``chrome_trace`` turns an :class:`~repro.obs.events.ObsSnapshot` into
+the Trace Event Format consumed by ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev): one timeline row per worker thread, complete
+duration events (``"ph": "X"``) with microsecond timestamps, and
+thread-name metadata events so the control process and each match
+process are labelled.  ``validate_chrome_trace`` is the schema check
+the CI ``obs-smoke`` job runs on exported files.
+
+``prometheus_text`` renders the service layer's counters (server,
+netcache, per-session) in the Prometheus exposition format, so a
+scraper — or ``curl`` piped through the ``stats`` verb — sees standard
+``# TYPE``-annotated families.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .events import ObsSnapshot
+
+#: Required keys of a complete ("X") trace event.
+_X_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def chrome_trace(snap: ObsSnapshot) -> Dict[str, Any]:
+    """The snapshot as a Trace Event Format document (JSON object form)."""
+    events: List[Dict[str, Any]] = []
+    for tid, (worker, spans) in enumerate(sorted(snap.workers.items())):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": worker},
+            }
+        )
+        for t0, dur, cat, name, args in spans:
+            event: Dict[str, Any] = {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": t0 / 1e3,  # ns -> us, the format's unit
+                "dur": dur / 1e3,
+                "pid": 1,
+                "tid": tid,
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "dropped_spans": snap.dropped},
+    }
+
+
+def write_chrome_trace(path: str, snap: ObsSnapshot) -> int:
+    """Serialize :func:`chrome_trace` to ``path``; returns event count."""
+    doc = chrome_trace(snap)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a trace document; returns human-readable problems
+    (empty list = valid).  Checks exactly what Perfetto needs to load
+    the file: the ``traceEvents`` array, per-event required keys,
+    numeric non-negative timestamps, and known phase codes."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                problems.append(f"event {i}: unexpected metadata event")
+            continue
+        if ph != "X":
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for key in _X_KEYS:
+            if key not in event:
+                problems.append(f"event {i}: missing {key!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"event {i}: {key} must be a non-negative number")
+        for key in ("name", "cat"):
+            if key in event and not isinstance(event[key], str):
+                problems.append(f"event {i}: {key} must be a string")
+    return problems
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(
+    server: Dict[str, Any],
+    sessions: Optional[Dict[str, Dict[str, Any]]] = None,
+    netcache: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serve counters in the Prometheus text exposition format.
+
+    ``server`` is a :meth:`~repro.serve.metrics.ServerMetrics.snapshot`,
+    ``sessions`` a ``{sid: session snapshot}`` map, ``netcache`` a
+    :meth:`~repro.serve.netcache.NetworkCache.stats` dict.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    family("repro_uptime_seconds", "gauge", "Server uptime.")
+    lines.append(f"repro_uptime_seconds {server.get('uptime_s', 0.0):.3f}")
+
+    counter_fields = (
+        ("requests", "Requests received."),
+        ("errors", "Requests answered with an error."),
+        ("connections", "Connections accepted."),
+        ("sessions_opened", "Sessions opened."),
+        ("sessions_closed", "Sessions closed."),
+        ("rejected_busy", "Requests rejected for backpressure."),
+        ("rejected_budget", "Requests rejected for budget caps."),
+        ("transactions", "WM transactions applied."),
+        ("cycles", "Recognize-act cycles executed."),
+        ("firings", "Production firings."),
+    )
+    for fieldname, help_text in counter_fields:
+        metric = f"repro_{fieldname}_total"
+        family(metric, "counter", help_text)
+        lines.append(f"{metric} {server.get(fieldname, 0)}")
+
+    latency = server.get("latency") or {}
+    family("repro_latency_ms", "summary", "Transaction latency (recent window).")
+    for quantile in ("p50", "p95", "p99"):
+        value = latency.get(f"{quantile}_ms")
+        if value is not None:
+            lines.append(
+                f'repro_latency_ms{{quantile="{quantile}"}} {value:.4f}'
+            )
+    if latency.get("mean_ms") is not None:
+        lines.append(f"repro_latency_mean_ms {latency['mean_ms']:.4f}")
+
+    if netcache:
+        family("repro_netcache_entries", "gauge", "Compiled networks cached.")
+        lines.append(f"repro_netcache_entries {netcache.get('entries', 0)}")
+        for fieldname in ("hits", "misses"):
+            metric = f"repro_netcache_{fieldname}_total"
+            family(metric, "counter", f"Network cache {fieldname}.")
+            lines.append(f"{metric} {netcache.get(fieldname, 0)}")
+
+    if sessions:
+        session_fields = ("transactions", "cycles", "firings", "wm_ops", "errors")
+        for fieldname in session_fields:
+            metric = f"repro_session_{fieldname}_total"
+            family(metric, "counter", f"Per-session {fieldname}.")
+            for sid, snap in sorted(sessions.items()):
+                lines.append(
+                    f'{metric}{{session="{_escape_label(sid)}"}} '
+                    f"{snap.get(fieldname, 0)}"
+                )
+        family("repro_session_wm_size", "gauge", "Working-memory elements.")
+        for sid, snap in sorted(sessions.items()):
+            lines.append(
+                f'repro_session_wm_size{{session="{_escape_label(sid)}"}} '
+                f"{snap.get('wm_size', 0)}"
+            )
+    return "\n".join(lines) + "\n"

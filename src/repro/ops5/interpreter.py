@@ -27,6 +27,7 @@ from .errors import RuntimeOps5Error
 from .parser import parse_program
 from .rhs import CompiledRHS
 from .wme import WME, WMEChange, WorkingMemory
+from ..obs import events as _obs
 from ..rete.matcher import SequentialMatcher
 from ..rete.network import ReteNetwork
 from ..rete.token import EMPTY
@@ -254,7 +255,15 @@ class Interpreter:
         self._apply_changes(env.changes)
 
     def _apply_changes(self, changes: List[WMEChange]) -> int:
-        deltas = self.matcher.process_changes(changes)
+        if _obs.ENABLED:
+            t0 = _obs.now()
+            deltas = self.matcher.process_changes(changes)
+            _obs.span(
+                "phase", "match", t0, _obs.now(),
+                args={"cycle": self.cycle, "changes": len(changes)},
+            )
+        else:
+            deltas = self.matcher.process_changes(changes)
         for delta in deltas:
             self.conflict_set.apply(delta.production, delta.token, delta.sign)
         if not getattr(self.matcher, "strict_cs", True):
@@ -290,7 +299,13 @@ class Interpreter:
             self.startup()
         if self.halted:
             return None
-        inst = self.strategy.select(self.conflict_set)
+        obs_on = _obs.ENABLED
+        if obs_on:
+            t0 = _obs.now()
+            inst = self.strategy.select(self.conflict_set)
+            _obs.span("phase", "select", t0, _obs.now(), args={"cycle": self.cycle})
+        else:
+            inst = self.strategy.select(self.conflict_set)
         if inst is None:
             return None
         self.conflict_set.mark_fired(inst)  # refraction
@@ -298,7 +313,19 @@ class Interpreter:
         production = inst.production
         if self.recorder is not None:
             self.recorder.begin_cycle(production.name, len(production.actions))
-        env = self._rhs[production.name].execute(self.wm, inst.token, self.input_values)
+        if obs_on:
+            t0 = _obs.now()
+            env = self._rhs[production.name].execute(
+                self.wm, inst.token, self.input_values
+            )
+            _obs.span(
+                "phase", "act", t0, _obs.now(),
+                args={"cycle": self.cycle, "production": production.name},
+            )
+        else:
+            env = self._rhs[production.name].execute(
+                self.wm, inst.token, self.input_values
+            )
         self.output.extend(env.out)
         if env.halted:
             self.halted = True

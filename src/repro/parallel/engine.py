@@ -29,6 +29,7 @@ import threading
 import time
 from typing import List, Optional
 
+from ..obs import events as _obs
 from ..ops5.wme import WMEChange
 from ..rete.matcher import SequentialMatcher
 from ..rete.memories import HashMemorySystem
@@ -91,16 +92,37 @@ class ParallelMatcher:
         """Pipeline the changes to the match processes; wait for quiescence."""
         if self._shutdown:
             raise RuntimeError("matcher already closed")
+        obs_on = _obs.ENABLED
+        if obs_on:
+            batch_t0 = _obs.now()
+        # Per-activation probes (ctx.last_*) are only maintained under
+        # `tracing`; flip it with the obs flag so worker node hot-spots
+        # carry examined-token counts.  Benign cross-thread write: the
+        # flag only gates instrumentation granularity.
+        for ctx in self._ctxs:
+            ctx.tracing = obs_on
         for change in changes:
             self.taskcount.increment()
             self.queues.push(("change", change.sign, change.wme), home=self._next_home())
         # The control process becomes idle and waits for the match
         # processes to finish (TaskCount == 0).
+        if obs_on:
+            wait_t0 = _obs.now()
         while not self.taskcount.zero:
             if self._failures:
                 break
             yield_point("quiesce_wait", self.taskcount)
             time.sleep(0)
+        if obs_on:
+            t1 = _obs.now()
+            _obs.span(
+                "phase", "match.quiesce_wait", wait_t0, t1,
+                args={"changes": len(changes)},
+            )
+            _obs.span(
+                "phase", "match.parallel_batch", batch_t0, t1,
+                args={"changes": len(changes)},
+            )
         if self._failures:
             failure = self._failures[0]
             self.close()
@@ -183,7 +205,9 @@ class ParallelMatcher:
                     continue
                 if task[0] == "poison":
                     return
-                if task[0] == "change":
+                if _obs.ENABLED:
+                    self._run_task_obs(ctx, wid, task)
+                elif task[0] == "change":
                     self._do_change(ctx, wid, task)
                 else:
                     self._do_activation(ctx, wid, task)
@@ -192,6 +216,32 @@ class ParallelMatcher:
             self._failures.append(exc)
         finally:
             thread_exit()
+
+    def _run_task_obs(self, ctx: MatchContext, wid: int, task) -> None:
+        """Instrumented twin of the worker dispatch: one span per task
+        (the Chrome-trace worker timeline) plus per-node hot-spots."""
+        t0 = _obs.now()
+        if task[0] == "change":
+            self._do_change(ctx, wid, task)
+            _obs.span("task", "wm_change", t0, _obs.now())
+            return
+        act: Activation = task[1]
+        n_children = self._do_activation(ctx, wid, task)
+        t1 = _obs.now()
+        node = act.node
+        if n_children is None:
+            # MRSW told us to requeue; the task was not processed.
+            _obs.count("task.requeued")
+            _obs.span("task", "requeue", t0, t1, args={"node": node.node_id})
+            return
+        _obs.node_hit(
+            node.node_id,
+            node.kind,
+            t1 - t0,
+            ctx.last_opp_examined + ctx.last_same_examined,
+            n_children,
+        )
+        _obs.span("task", node.kind, t0, t1, args={"node": node.node_id})
 
     def _push_children(self, wid: int, children: List[Activation]) -> None:
         for child in children:
@@ -212,13 +262,16 @@ class ParallelMatcher:
         ]
         self._push_children(wid, children)
 
-    def _do_activation(self, ctx: MatchContext, wid: int, task) -> None:
+    def _do_activation(self, ctx: MatchContext, wid: int, task) -> Optional[int]:
+        """Process one activation task; returns the number of child
+        tasks pushed, or None when MRSW line locking requeued the task
+        unprocessed (the observability layer tells these apart)."""
         act: Activation = task[1]
         node = act.node
         if not node.uses_line():
             children = node.activate(ctx, act)
             self._push_children(wid, children)
-            return
+            return len(children)
 
         key = node.key_for(act.side, act.token)
         line = self.memory.line_of(node.node_id, key)
@@ -227,7 +280,7 @@ class ParallelMatcher:
             # this line — put the task back on a queue and move on.
             self.taskcount.increment()
             self.queues.push(task, home=self._next_home())
-            return
+            return None
         try:
             if isinstance(node, JoinNode):
                 self.line_locks.enter_modify(line)
@@ -248,3 +301,4 @@ class ParallelMatcher:
         finally:
             self.line_locks.exit(line, act.side)
         self._push_children(wid, children)
+        return len(children)

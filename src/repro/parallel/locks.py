@@ -27,6 +27,7 @@ from time import sleep as _sleep
 from typing import Dict, List, Optional, Tuple
 
 from .hooks import yield_point
+from ..obs import events as _obs
 
 UNUSED = 0
 LEFT_IN_USE = 1
@@ -37,39 +38,70 @@ _SIDE_STATE = {"L": LEFT_IN_USE, "R": RIGHT_IN_USE}
 
 @dataclass
 class LockStats:
-    """Spin counts per acquisition — the paper's contention measure."""
+    """Spin counts per acquisition — the paper's contention measure.
+
+    ``contended`` counts the acquisitions that did *not* succeed on the
+    first test-and-set (i.e. the caller observed the lock busy or lost
+    an interlocked attempt at least once), so
+    ``contended / acquisitions`` is a true contention ratio rather than
+    the mean-spins proxy alone.
+    """
 
     acquisitions: int = 0
     spins: int = 0
     requeues: int = 0
+    contended: int = 0
 
     @property
     def mean_spins(self) -> float:
         return self.spins / self.acquisitions if self.acquisitions else 0.0
 
+    @property
+    def uncontended(self) -> int:
+        return self.acquisitions - self.contended
+
+    @property
+    def contention_ratio(self) -> float:
+        return self.contended / self.acquisitions if self.acquisitions else 0.0
+
     def merge(self, other: "LockStats") -> None:
         self.acquisitions += other.acquisitions
         self.spins += other.spins
         self.requeues += other.requeues
+        self.contended += other.contended
 
 
 class SpinLock:
     """Test-and-test-and-set spin lock with spin counting.
 
     The counters are updated while the lock is held, so they need no
-    extra synchronization.
+    extra synchronization.  ``label`` names the lock *site* ("queue",
+    "line", ...) for the observability layer, which — only while
+    :mod:`repro.obs.events` is enabled — times each acquisition's wait
+    (spin duration) and hold (acquire→release) and aggregates them per
+    label into the timed contention profiles of ``repro top``.
     """
 
-    __slots__ = ("_lock", "_busy", "stats")
+    __slots__ = ("_lock", "_busy", "stats", "label", "_t_acq", "_wait_ns",
+                 "_contended_acq")
 
-    def __init__(self) -> None:
+    def __init__(self, label: str = "lock") -> None:
         self._lock = threading.Lock()
         self._busy = False
         self.stats = LockStats()
+        self.label = label
+        # Observability state for the acquisition in flight; _t_acq is
+        # 0 whenever obs was disabled at acquire time, making the
+        # release-path check a single attribute read.
+        self._t_acq = 0
+        self._wait_ns = 0
+        self._contended_acq = False
 
     def acquire(self) -> int:
         """Spin until acquired; returns the number of spins (>= 1)."""
         spins = 1
+        obs_on = _obs.ENABLED
+        t0 = _obs.now() if obs_on else 0
         yield_point("lock_acquire", self)
         while True:
             # "test": spin on an ordinary read while the lock is busy.
@@ -84,13 +116,29 @@ class SpinLock:
             # "test-and-set": the interlocked attempt.
             if self._lock.acquire(False):
                 self._busy = True
-                self.stats.acquisitions += 1
-                self.stats.spins += spins
+                stats = self.stats
+                stats.acquisitions += 1
+                stats.spins += spins
+                if spins > 1:
+                    stats.contended += 1
+                if obs_on:
+                    t1 = _obs.now()
+                    self._wait_ns = t1 - t0
+                    self._t_acq = t1
+                    self._contended_acq = spins > 1
                 return spins
             spins += 1
             yield_point("lock_spin", self)
 
     def release(self) -> None:
+        if self._t_acq:
+            _obs.lock_hit(
+                self.label,
+                self._wait_ns,
+                _obs.now() - self._t_acq,
+                self._contended_acq,
+            )
+            self._t_acq = 0
         self._busy = False
         self._lock.release()
         yield_point("lock_release", self)
@@ -110,7 +158,7 @@ class SimpleLineLocks:
 
     def __init__(self, n_lines: int) -> None:
         self.n_lines = n_lines
-        self._locks = [SpinLock() for _ in range(n_lines)]
+        self._locks = [SpinLock(label="line") for _ in range(n_lines)]
 
     def enter(self, line: int, side: str) -> bool:
         """Take the line for the whole operation.  Always succeeds
@@ -150,8 +198,8 @@ class MRSWLineLocks:
 
     def __init__(self, n_lines: int) -> None:
         self.n_lines = n_lines
-        self._guards = [SpinLock() for _ in range(n_lines)]
-        self._mods = [SpinLock() for _ in range(n_lines)]
+        self._guards = [SpinLock(label="line_guard") for _ in range(n_lines)]
+        self._mods = [SpinLock(label="line_mod") for _ in range(n_lines)]
         self._flags = [UNUSED] * n_lines
         self._counts = [0] * n_lines
 

@@ -18,13 +18,14 @@ from typing import Any, List, Optional
 
 from .hooks import yield_point
 from .locks import LockStats, SpinLock
+from ..obs import events as _obs
 
 
 class TaskCount:
     """The paper's global activity counter with its own spin lock."""
 
     def __init__(self) -> None:
-        self._lock = SpinLock()
+        self._lock = SpinLock(label="taskcount")
         self._value = 0
         #: Lowest value ever observed by a decrement — an invariant probe
         #: for the schedule harness (must never go below 0).
@@ -68,11 +69,13 @@ class TaskQueueSet:
             raise ValueError("need at least one task queue")
         self.n_queues = n_queues
         self._queues: List[List[Any]] = [[] for _ in range(n_queues)]
-        self._locks = [SpinLock() for _ in range(n_queues)]
+        self._locks = [SpinLock(label="queue") for _ in range(n_queues)]
 
     def push(self, task: Any, home: int = 0) -> None:
         """Push ``task``; ``home`` selects the queue (mod n_queues)."""
         yield_point("queue_push", task)
+        if _obs.ENABLED:
+            _obs.count("queue.push")
         qi = home % self.n_queues
         with self._locks[qi]:
             self._queues[qi].append(task)
@@ -90,7 +93,13 @@ class TaskQueueSet:
                 continue
             with self._locks[qi]:
                 if queue:
+                    if _obs.ENABLED:
+                        _obs.count("queue.pop")
+                        if offset:
+                            _obs.count("queue.pop_stolen")
                     return queue.pop()
+        if _obs.ENABLED:
+            _obs.count("queue.pop_empty")
         return None
 
     def __len__(self) -> int:

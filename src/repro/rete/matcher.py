@@ -18,6 +18,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import List, Optional
 
+from ..obs import events as _obs
 from ..ops5.wme import WMEChange
 from .memories import make_memory
 from .network import ReteNetwork
@@ -55,6 +56,16 @@ class SequentialMatcher:
         stats = self.stats
         stats.wme_changes += 1
 
+        # Observability: read the flag once per change; the disabled
+        # path adds one local-bool test per activation and nothing else.
+        obs_on = _obs.ENABLED
+        if obs_on:
+            change_t0 = _obs.now()
+            # Nodes populate ctx.last_* probes only under `tracing`.
+            ctx.tracing = True
+        elif self.recorder is None:
+            ctx.tracing = False
+
         hits, n_tests = self.network.alpha_dispatch(change.wme)
         stats.constant_tests += n_tests
         stats.alpha_passes += len(hits)
@@ -73,7 +84,18 @@ class SequentialMatcher:
 
         while stack:
             act, parent = stack.pop()
-            children = act.node.activate(ctx, act)
+            if obs_on:
+                act_t0 = _obs.now()
+                children = act.node.activate(ctx, act)
+                _obs.node_hit(
+                    act.node.node_id,
+                    act.node.kind,
+                    _obs.now() - act_t0,
+                    ctx.last_opp_examined + ctx.last_same_examined,
+                    len(children),
+                )
+            else:
+                children = act.node.activate(ctx, act)
             if recorder is not None:
                 tid = recorder.add_task(
                     parent=parent,
@@ -92,6 +114,14 @@ class SequentialMatcher:
             for child in children:
                 stack.append((child, parent_for_children))
 
+        if obs_on:
+            _obs.span(
+                "match",
+                "wm_change",
+                change_t0,
+                _obs.now(),
+                args={"sign": sign, "alpha_hits": len(hits)},
+            )
         return ctx.cs_deltas
 
     def process_changes(self, changes: List[WMEChange]) -> List[CSDelta]:

@@ -76,6 +76,11 @@ class ReteNetwork:
         self.alpha_terminals: List[AlphaTerminal] = []
         self.constant_nodes: List[ConstantTestNode] = []
         self.productions: List[Production] = []
+        #: beta node id -> owning production name.  Exact attribution:
+        #: beta nodes are never shared between productions (paper
+        #: footnote 6), so the observability layer can roll node
+        #: hot-spots up into per-production profiles.
+        self.node_owner: Dict[int, str] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -126,6 +131,7 @@ class ReteNetwork:
                 continue
 
             node = self._make_two_input(ce, comp)
+            self.node_owner[node.node_id] = prod.name
             # Left input: previous beta node, or the first CE's alpha.
             if beta_source is None:
                 assert first_alpha is not None
@@ -140,6 +146,7 @@ class ReteNetwork:
                 positive_seen += 1
 
         term = TerminalNode(self._new_node_id(), prod)
+        self.node_owner[term.node_id] = prod.name
         if beta_source is None:
             assert first_alpha is not None
             first_alpha.successors.append((term, "L"))

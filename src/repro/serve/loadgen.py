@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import events as obs_events
+from ..obs.export import write_chrome_trace
 from .limits import ServiceLimits
+from .metrics import nearest_rank
 from .netcache import NetworkCache
 from .protocol import decode_line, encode, ops_to_wire
 from .server import ReproServer
@@ -96,6 +99,10 @@ class LoadReport:
                 f"  latency ms: p50={lat['p50_ms']:.2f} p95={lat['p95_ms']:.2f} "
                 f"p99={lat['p99_ms']:.2f} mean={lat['mean_ms']:.2f}"
             )
+        else:
+            # Zero completed transactions: say so explicitly instead of
+            # printing fabricated percentiles.
+            lines.append("  latency: no samples")
         if self.netcache:
             lines.append(
                 f"  netcache: {self.netcache.get('entries', 0)} entries, "
@@ -169,10 +176,22 @@ async def _run_session(
                 "max_cycles": txn.max_cycles,
             }
             for _attempt in range(MAX_BUSY_RETRIES + 1):
+                obs_on = obs_events.ENABLED
+                if obs_on:
+                    txn_t0 = obs_events.now()
                 start = perf_counter()
                 resp = await client.request(msg)
                 if resp.get("ok"):
                     run.latencies.append(perf_counter() - start)
+                    if obs_on:
+                        obs_events.span(
+                            "loadgen",
+                            "txn",
+                            txn_t0,
+                            obs_events.now(),
+                            args={"session": run.session_id, "txn": t,
+                                  "outcome": resp["outcome"]},
+                        )
                     run.firings.extend(resp["firings"])
                     run.outcomes[resp["outcome"]] += 1
                     run.cycles += resp["cycles"]
@@ -242,6 +261,7 @@ async def run_loadgen(
     program_source: Optional[str] = None,
     limits: Optional[ServiceLimits] = None,
     shutdown_after: bool = False,
+    trace_path: Optional[str] = None,
 ) -> LoadReport:
     """Drive a server with ``sessions`` concurrent replayed streams.
 
@@ -249,6 +269,10 @@ async def run_loadgen(
     ephemeral port (the CI- and test-friendly mode); otherwise
     ``host``/``port`` name a running server.  ``shutdown_after`` sends
     a ``shutdown`` request once the run (and stats scrape) is done.
+    ``trace_path`` enables the :mod:`repro.obs` event bus for the run
+    and writes a Chrome-trace JSON file when it finishes; with
+    ``spawn=True`` the trace covers the in-process server's engines,
+    not just the client side.
     """
     runs: List[SessionRun] = []
     for i in range(sessions):
@@ -264,6 +288,9 @@ async def run_loadgen(
         host, port = await server.start()
     assert host is not None and port is not None
 
+    if trace_path is not None:
+        obs_events.reset()
+        obs_events.enable()
     started = perf_counter()
     try:
         await asyncio.gather(*(_run_session(host, port, run) for run in runs))
@@ -283,6 +310,9 @@ async def run_loadgen(
     finally:
         if server is not None:
             await server.shutdown()
+        if trace_path is not None:
+            write_chrome_trace(trace_path, obs_events.snapshot())
+            obs_events.disable()
 
     report = LoadReport(
         scenario=scenario if program_source is None else "file",
@@ -302,15 +332,10 @@ async def run_loadgen(
         latencies.extend(run.latencies)
     if latencies:
         ordered = sorted(latencies)
-
-        def pct(p: float) -> float:
-            rank = max(1, -(-len(ordered) * p // 100))
-            return ordered[int(rank) - 1] * 1e3
-
         report.latency = {
-            "p50_ms": pct(50),
-            "p95_ms": pct(95),
-            "p99_ms": pct(99),
+            "p50_ms": nearest_rank(ordered, 50) * 1e3,
+            "p95_ms": nearest_rank(ordered, 95) * 1e3,
+            "p99_ms": nearest_rank(ordered, 99) * 1e3,
             "mean_ms": sum(ordered) / len(ordered) * 1e3,
         }
     report.netcache = stats.get("netcache", {})

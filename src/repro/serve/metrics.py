@@ -10,7 +10,22 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from time import monotonic
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+
+def nearest_rank(ordered: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence.
+
+    ``p`` must lie in [0, 100]; p=0 returns the minimum (rank clamps to
+    1) and p=100 the maximum.  Shared by :class:`LatencyWindow` and the
+    loadgen report so the two never disagree.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
+    return ordered[int(rank) - 1]
 
 
 class LatencyWindow:
@@ -32,18 +47,28 @@ class LatencyWindow:
             self._samples[self._next] = seconds
             self._next = (self._next + 1) % self.capacity
 
+    @property
+    def window_size(self) -> int:
+        """Number of samples currently held (≤ capacity)."""
+        return len(self._samples)
+
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile (``p`` in [0, 100]) over the window."""
+        """Nearest-rank percentile (``p`` in [0, 100]) over the window.
+
+        Returns 0.0 when the window is empty; raises ``ValueError`` for
+        ``p`` outside [0, 100].
+        """
         if not self._samples:
+            if not 0 <= p <= 100:
+                raise ValueError(f"percentile must be in [0, 100], got {p}")
             return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
-        return ordered[int(rank) - 1]
+        return nearest_rank(sorted(self._samples), p)
 
     def summary(self) -> Dict[str, float]:
         mean = self.total_seconds / self.count if self.count else 0.0
         return {
             "count": self.count,
+            "window": self.window_size,
             "mean_ms": mean * 1e3,
             "p50_ms": self.percentile(50) * 1e3,
             "p95_ms": self.percentile(95) * 1e3,

@@ -24,8 +24,19 @@ Requests
          "cycles": n, "total_cycles": n, "firings": [[cycle, prod, [tags..]]..],
          "output": [..], "created": [timetags..], "wm_size": n}``
 
-``{"id": .., "type": "stats", "session"?: ..}``
+``{"id": .., "type": "stats", "session"?: .., "format"?: "json"|"prometheus"}``
     Server-wide counters, netcache stats, and per-session detail.
+    With ``"format": "prometheus"`` (server-wide only) the response is
+    ``{"ok": true, "format": "prometheus", "body": "<exposition text>"}``
+    — the same counters rendered for a scraper.
+
+``{"id": .., "type": "profile", "session"?: ..}``
+    Live engine profiles.  Per session: match-engine statistics
+    (activations by node kind, tokens examined, the Table 4-1/4-2
+    counters) plus the session's request counters.  Server-wide: every
+    session's profile, netcache stats, and — when the
+    :mod:`repro.obs` event bus is enabled in the server process — the
+    global hot-spot profile (hot nodes/productions/locks/phases).
 
 ``{"id": .., "type": "close", "session": ..}``
     Drain the session's queued transactions, then release it.

@@ -19,6 +19,9 @@ import asyncio
 from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs import events as obs_events
+from ..obs import profile as obs_profile
+from ..obs.export import prometheus_text
 from ..ops5.errors import Ops5Error
 from ..ops5.interpreter import TransactionError
 from .limits import BudgetError, ServiceLimits
@@ -217,6 +220,8 @@ class ReproServer:
             return self._handle_open(msg)
         if rtype == "stats":
             return self._handle_stats(msg)
+        if rtype == "profile":
+            return self._handle_profile(msg)
         if rtype == "close":
             return await self._handle_close(msg)
         if rtype == "ping":
@@ -295,13 +300,47 @@ class ReproServer:
 
     def _handle_stats(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         req_id = msg.get("id")
+        fmt = msg.get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            raise ProtocolError(E_BAD_REQUEST, f"unknown stats format {fmt!r}")
         sid = msg.get("session")
         if sid is not None:
             session = self._session_for(msg)
             return ok_response(req_id, session=sid, stats=session.snapshot())
+        if fmt == "prometheus":
+            text = prometheus_text(
+                self.metrics.snapshot(),
+                sessions={
+                    s.session_id: s.snapshot() for s in self.sessions.values()
+                },
+                netcache=self.netcache.stats(),
+            )
+            return ok_response(req_id, format="prometheus", body=text)
         return ok_response(
             req_id,
             server=self.metrics.snapshot(),
             netcache=self.netcache.stats(),
             sessions={s.session_id: s.snapshot() for s in self.sessions.values()},
         )
+
+    def _handle_profile(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Live engine profiles: per-session match statistics, and —
+        when :mod:`repro.obs` is enabled in this process — the global
+        hot-spot profile built from the current event-bus snapshot."""
+        req_id = msg.get("id")
+        sid = msg.get("session")
+        if sid is not None:
+            session = self._session_for(msg)
+            return ok_response(req_id, session=sid, profile=session.profile())
+        payload: Dict[str, Any] = {
+            "sessions": {
+                s.session_id: s.profile() for s in self.sessions.values()
+            },
+            "netcache": self.netcache.stats(),
+            "obs_enabled": obs_events.enabled(),
+        }
+        if obs_events.enabled():
+            payload["obs"] = obs_profile.to_json(
+                obs_profile.build(obs_events.snapshot())
+            )
+        return ok_response(req_id, **payload)

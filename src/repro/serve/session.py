@@ -127,6 +127,21 @@ class SessionCore:
             wm_size=self.wm_size,
         )
 
+    def profile(self) -> dict:
+        """Live engine profile: the match statistics the paper tables
+        are built from, plus per-kind activation counts and the session
+        counters.  This is the payload of the server's ``profile`` verb."""
+        stats = self.interp.matcher.stats
+        return {
+            "session": self.session_id,
+            "cycle": self.interp.cycle,
+            "wm_size": self.wm_size,
+            "halted": self.interp.halted,
+            "match": stats.summary(),
+            "activations_by_kind": dict(stats.activations_by_kind),
+            "counters": self.counters.snapshot(),
+        }
+
     def close(self) -> None:
         self.interp.close()
 
@@ -221,3 +236,9 @@ class Session:
         snap["program"] = self.core.entry.key[:12]
         snap["halted"] = self.core.interp.halted
         return snap
+
+    def profile(self) -> dict:
+        prof = self.core.profile()
+        prof["queue_depth"] = self.queue_depth
+        prof["program"] = self.core.entry.key[:12]
+        return prof

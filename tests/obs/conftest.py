@@ -1,0 +1,15 @@
+"""Shared fixture: the event bus is module-global, so every test that
+enables it must disable and reset it on the way out."""
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture
+def obs():
+    events.reset()
+    events.enable()
+    yield events
+    events.disable()
+    events.reset()

@@ -1,0 +1,107 @@
+"""Unit tests for the structured event bus."""
+
+import threading
+
+from repro.obs import events
+
+
+class TestFlag:
+    def test_disabled_by_default(self):
+        assert events.ENABLED is False
+        assert events.enabled() is False
+
+    def test_enable_disable(self, obs):
+        assert events.enabled() is True
+        events.disable()
+        assert events.enabled() is False
+
+    def test_snapshot_empty_when_nothing_recorded(self, obs):
+        snap = events.snapshot()
+        assert snap.n_spans == 0
+        assert snap.nodes == {}
+        assert snap.locks == {}
+        assert snap.counters == {}
+
+
+class TestRecording:
+    def test_span_round_trip(self, obs):
+        t0 = events.now()
+        t1 = t0 + 1500
+        events.span("match", "wm_change", t0, t1, args={"sign": 1})
+        snap = events.snapshot()
+        assert snap.n_spans == 1
+        (start, dur, cat, name, args) = snap.spans_by_cat("match")[0]
+        assert (start, dur, cat, name) == (t0, 1500, "match", "wm_change")
+        assert args == {"sign": 1}
+
+    def test_counters_accumulate(self, obs):
+        events.count("queue.pop")
+        events.count("queue.pop")
+        events.count("queue.push", 5)
+        snap = events.snapshot()
+        assert snap.counters == {"queue.pop": 2, "queue.push": 5}
+
+    def test_node_hits_aggregate_per_node(self, obs):
+        events.node_hit(7, "join", 100, 3, 1)
+        events.node_hit(7, "join", 50, 2, 0)
+        events.node_hit(9, "not", 10, 0, 0)
+        snap = events.snapshot()
+        assert snap.nodes[7] == ["join", 2, 150, 5, 1]
+        assert snap.nodes[9] == ["not", 1, 10, 0, 0]
+
+    def test_lock_hits_aggregate_per_label(self, obs):
+        events.lock_hit("queue", 10, 20, False)
+        events.lock_hit("queue", 30, 40, True)
+        snap = events.snapshot()
+        assert snap.locks["queue"] == [2, 1, 40, 60]
+
+    def test_span_buffer_bounded_and_drops_counted(self):
+        events.reset()
+        events.enable(max_events_per_worker=3)
+        try:
+            for i in range(10):
+                events.span("c", f"s{i}", 0, 1)
+            snap = events.snapshot()
+            assert snap.n_spans == 3
+            assert snap.dropped == 7
+        finally:
+            events.disable()
+            events.reset()
+
+    def test_reset_drops_everything(self, obs):
+        events.span("c", "s", 0, 1)
+        events.count("k")
+        events.reset()
+        snap = events.snapshot()
+        assert snap.n_spans == 0 and snap.counters == {}
+
+
+class TestThreading:
+    def test_per_thread_buffers_merge(self, obs):
+        def record():
+            events.span("task", "join", 0, 10)
+            events.count("queue.pop")
+            events.node_hit(1, "join", 5, 1, 1)
+
+        threads = [
+            threading.Thread(target=record, name=f"obs-test-{i}")
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = events.snapshot()
+        # One worker timeline per thread, each with its own span.
+        names = [n for n in snap.workers if n.startswith("obs-test-")]
+        assert len(names) == 3
+        assert all(len(snap.workers[n]) == 1 for n in names)
+        # Aggregates merge across buffers.
+        assert snap.counters["queue.pop"] == 3
+        assert snap.nodes[1] == ["join", 3, 15, 3, 3]
+
+    def test_snapshot_does_not_stop_collection(self, obs):
+        events.span("c", "a", 0, 1)
+        events.snapshot()
+        events.span("c", "b", 1, 2)
+        assert events.snapshot().n_spans == 2

@@ -1,0 +1,114 @@
+"""Exporters: Chrome-trace JSON structure + schema validation, and the
+Prometheus text exposition."""
+
+import json
+
+from repro.obs import events
+from repro.obs.events import ObsSnapshot
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.ops5.interpreter import Interpreter
+from repro.programs import blocks
+
+
+def snapshot_with_spans() -> ObsSnapshot:
+    snap = ObsSnapshot()
+    snap.workers = {
+        "MainThread": [(1_000, 2_000, "match", "wm_change", {"sign": 1})],
+        "match-0": [(3_000, 500, "task", "join", None)],
+    }
+    return snap
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(snapshot_with_spans())
+        events_ = doc["traceEvents"]
+        meta = [e for e in events_ if e["ph"] == "M"]
+        xs = [e for e in events_ if e["ph"] == "X"]
+        assert len(meta) == 2 and len(xs) == 2
+        assert {m["args"]["name"] for m in meta} == {"MainThread", "match-0"}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_microsecond_conversion(self):
+        doc = chrome_trace(snapshot_with_spans())
+        x = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "wm_change"
+        )
+        assert x["ts"] == 1.0 and x["dur"] == 2.0  # ns -> us
+        assert x["args"] == {"sign": 1}
+
+    def test_valid_doc_passes_validation(self):
+        assert validate_chrome_trace(chrome_trace(snapshot_with_spans())) == []
+
+    def test_validation_catches_problems(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+        assert validate_chrome_trace({}) == [
+            "traceEvents is missing or not an array"
+        ]
+        bad_phase = {"traceEvents": [{"ph": "Q"}]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(bad_phase))
+        negative = {
+            "traceEvents": [
+                {"name": "x", "cat": "c", "ph": "X", "ts": -1, "dur": 0,
+                 "pid": 1, "tid": 0}
+            ]
+        }
+        assert any("non-negative" in p for p in validate_chrome_trace(negative))
+        missing = {"traceEvents": [{"ph": "X", "ts": 0, "dur": 0}]}
+        assert any("missing" in p for p in validate_chrome_trace(missing))
+
+    def test_write_round_trip(self, tmp_path, obs):
+        interp = Interpreter(blocks.source())
+        interp.run(max_cycles=1000)
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(str(path), events.snapshot())
+        assert n > 0
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) == n
+
+
+class TestPrometheus:
+    SERVER = {
+        "uptime_s": 12.5,
+        "requests": 42,
+        "errors": 1,
+        "connections": 3,
+        "sessions_opened": 2,
+        "sessions_closed": 1,
+        "rejected_busy": 0,
+        "rejected_budget": 0,
+        "transactions": 40,
+        "cycles": 400,
+        "firings": 100,
+        "latency": {"p50_ms": 1.5, "p95_ms": 2.5, "p99_ms": 3.5, "mean_ms": 1.8},
+    }
+
+    def test_server_families(self):
+        text = prometheus_text(self.SERVER)
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 42" in text
+        assert 'repro_latency_ms{quantile="p95"} 2.5000' in text
+        assert text.endswith("\n")
+
+    def test_netcache_and_sessions(self):
+        text = prometheus_text(
+            self.SERVER,
+            sessions={"s1": {"transactions": 7, "wm_size": 9}},
+            netcache={"entries": 2, "hits": 5, "misses": 2},
+        )
+        assert "repro_netcache_entries 2" in text
+        assert 'repro_session_transactions_total{session="s1"} 7' in text
+        assert 'repro_session_wm_size{session="s1"} 9' in text
+
+    def test_label_escaping(self):
+        text = prometheus_text(
+            self.SERVER, sessions={'s"1': {"transactions": 1, "wm_size": 0}}
+        )
+        assert 'session="s\\"1"' in text

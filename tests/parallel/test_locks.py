@@ -83,10 +83,60 @@ class TestLockStats:
         assert LockStats().mean_spins == 0.0
 
     def test_merge(self):
-        a = LockStats(acquisitions=1, spins=2, requeues=3)
-        b = LockStats(acquisitions=10, spins=20, requeues=30)
+        a = LockStats(acquisitions=1, spins=2, requeues=3, contended=1)
+        b = LockStats(acquisitions=10, spins=20, requeues=30, contended=4)
         a.merge(b)
-        assert (a.acquisitions, a.spins, a.requeues) == (11, 22, 33)
+        assert (a.acquisitions, a.spins, a.requeues, a.contended) == (
+            11, 22, 33, 5
+        )
+
+    def test_contention_ratio(self):
+        s = LockStats(acquisitions=8, contended=2)
+        assert s.uncontended == 6
+        assert s.contention_ratio == 0.25
+
+    def test_contention_ratio_empty(self):
+        assert LockStats().contention_ratio == 0.0
+
+
+class TestContentionSplit:
+    def test_uncontended_acquire_not_counted(self):
+        lock = SpinLock()
+        for _ in range(3):
+            with lock:
+                pass
+        assert lock.stats.acquisitions == 3
+        assert lock.stats.contended == 0
+        assert lock.stats.uncontended == 3
+        assert lock.stats.contention_ratio == 0.0
+
+    def test_contended_acquire_counted(self):
+        """A waiter that provably spun (first lock_spin yield observed)
+        must land in the contended bucket."""
+        lock = SpinLock()
+        lock.acquire()
+        spinning = threading.Event()
+
+        def on_yield(label, detail):
+            if label == "lock_spin":
+                spinning.set()
+
+        def waiter():
+            lock.acquire()
+            lock.release()
+
+        hooks.install(on_yield)
+        try:
+            t = threading.Thread(target=waiter)
+            t.start()
+            assert spinning.wait(timeout=10.0)
+            lock.release()
+            t.join()
+        finally:
+            hooks.uninstall()
+        assert lock.stats.acquisitions == 2
+        assert lock.stats.contended >= 1
+        assert lock.stats.uncontended >= 1  # the initial free acquire
 
 
 class TestSimpleLineLocks:

@@ -82,6 +82,38 @@ class TestLoadgen:
         assert not LoadReport("s", 1, 1, verified=False).ok
         assert LoadReport("s", 1, 1, verified=True).ok
 
+    def test_zero_transactions_reports_no_samples(self):
+        """Zero completed transactions must yield an explicit "no
+        samples" marker, not fabricated percentiles."""
+        report = LoadReport("s", 2, 5)
+        text = report.format()
+        assert "latency: no samples" in text
+        assert "p50" not in text
+        assert report.latency == {}
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path):
+        import json
+
+        from repro.obs import events
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "loadgen-trace.json"
+        report = asyncio.run(
+            run_loadgen(
+                scenario="blocks", sessions=2, transactions=3,
+                spawn=True, trace_path=str(path),
+            )
+        )
+        assert report.ok
+        assert events.enabled() is False  # bus switched off afterwards
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "txn" in names  # client-side transaction spans
+        assert "wm_change" in names  # in-process server engine spans
+
     def test_shutdown_after_stops_spawned_server(self):
         report = asyncio.run(
             run_loadgen(

@@ -87,6 +87,79 @@ class TestLifecycle:
 
         with_server(scenario)
 
+    def test_stats_prometheus_format(self):
+        async def scenario(server, reader, writer):
+            sid = (await open_counter(reader, writer))["session"]
+            await request(
+                reader,
+                writer,
+                {"id": 2, "type": "transact", "session": sid, "max_cycles": 0},
+            )
+            resp = await request(
+                reader, writer,
+                {"id": 3, "type": "stats", "format": "prometheus"},
+            )
+            assert resp["ok"] and resp["format"] == "prometheus"
+            body = resp["body"]
+            assert "# TYPE repro_requests_total counter" in body
+            assert "repro_transactions_total 1" in body
+            assert "repro_netcache_entries 1" in body
+            assert f'repro_session_transactions_total{{session="{sid}"}} 1' in body
+
+        with_server(scenario)
+
+    def test_stats_unknown_format_rejected(self):
+        async def scenario(server, reader, writer):
+            resp = await request(
+                reader, writer, {"id": 1, "type": "stats", "format": "xml"}
+            )
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "bad-request"
+
+        with_server(scenario)
+
+    def test_profile_verb_per_session_and_server_wide(self):
+        async def scenario(server, reader, writer):
+            sid = (await open_counter(reader, writer))["session"]
+            await request(
+                reader,
+                writer,
+                {
+                    "id": 2,
+                    "type": "transact",
+                    "session": sid,
+                    "ops": [{"op": "make", "class": "counter",
+                             "attrs": {"n": 0, "limit": 3}}],
+                    "max_cycles": 10,
+                },
+            )
+            per = await request(
+                reader, writer, {"id": 3, "type": "profile", "session": sid}
+            )
+            prof = per["profile"]
+            assert prof["session"] == sid
+            assert prof["match"]["node_activations"] > 0
+            assert sum(prof["activations_by_kind"].values()) == (
+                prof["match"]["node_activations"]
+            )
+            assert prof["counters"]["transactions"] == 1
+
+            wide = await request(reader, writer, {"id": 4, "type": "profile"})
+            assert sid in wide["sessions"]
+            assert wide["netcache"]["entries"] == 1
+            # The event bus is off in tests; the global obs profile is
+            # present only when it is enabled.
+            assert wide["obs_enabled"] is False
+            assert "obs" not in wide
+
+            missing = await request(
+                reader, writer, {"id": 5, "type": "profile", "session": "s99"}
+            )
+            assert not missing["ok"]
+            assert missing["error"]["code"] == "unknown-session"
+
+        with_server(scenario)
+
     def test_shutdown_request_drains_server(self):
         async def scenario(server, reader, writer):
             resp = await request(reader, writer, {"id": 1, "type": "shutdown"})

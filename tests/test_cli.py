@@ -201,6 +201,79 @@ class TestLoadgen:
         assert "0 errors" in out
 
 
+class TestTrace:
+    def test_trace_builtin_blocks(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        out = tmp_path / "blocks-trace.json"
+        assert main(["trace", "blocks", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "move-block" in text  # per-production profile
+        assert "(equal)" in text  # profile == MatchStats.node_activations
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_trace_parallel_worker_timelines(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "par-trace.json"
+        assert main(["trace", "blocks", "--out", str(out),
+                     "--parallel", "2"]) == 0
+        assert "(equal)" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        threads = {
+            e["args"]["name"]
+            for e in doc["traceEvents"] if e.get("ph") == "M"
+        }
+        assert any(t.startswith("match-") for t in threads)
+
+    def test_trace_program_file(self, program_file, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", program_file, "--out", str(out)]) == 0
+        assert "hello" in capsys.readouterr().out  # production name
+        assert out.exists()
+
+    def test_trace_disables_bus_afterwards(self, tmp_path):
+        from repro.obs import events
+
+        main(["trace", "blocks", "--out", str(tmp_path / "t.json")])
+        assert events.enabled() is False
+
+    def test_unknown_builtin_is_clean_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "no-such-program", "--out", "/dev/null"])
+        assert "neither a file nor a builtin" in str(exc.value)
+
+
+class TestTop:
+    def test_top_by_production(self, capsys):
+        assert main(["top", "blocks"]) == 0
+        out = capsys.readouterr().out
+        assert "hot productions" in out
+        assert "move-block" in out
+        assert "hot nodes" not in out  # pruned to the requested table
+
+    def test_top_by_phase(self, capsys):
+        assert main(["top", "blocks", "--by", "phase"]) == 0
+        out = capsys.readouterr().out
+        assert "phases (recognize-act cycle):" in out
+        assert "match" in out
+
+    def test_top_by_lock_parallel(self, capsys):
+        assert main(["top", "blocks", "--by", "lock",
+                     "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lock contention:" in out
+        assert "taskcount" in out
+
+    def test_top_limit(self, capsys):
+        assert main(["top", "blocks", "--by", "node", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hot nodes (top 2):" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
