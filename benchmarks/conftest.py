@@ -1,8 +1,12 @@
 """Shared fixtures for the benchmark suite.
 
 Reports are printed (visible with ``-s``) and also written to
-``benchmarks/reports/`` so a plain ``pytest benchmarks/ --benchmark-only``
-run leaves the paper-vs-measured tables on disk.
+``benchmarks/reports/`` so a plain ``python -m pytest benchmarks/ -q``
+run leaves the paper-vs-measured tables on disk.  (There is no
+``--benchmark-only`` flag — that belongs to the pytest-benchmark
+plugin, which this repo does not use.)  For machine-readable history
+with regression gating, use ``repro bench run`` instead — see
+docs/PERF.md.
 """
 
 from __future__ import annotations
@@ -22,11 +26,18 @@ def report_dir() -> pathlib.Path:
 
 @pytest.fixture()
 def emit(report_dir):
-    """Print a report and persist it under ``benchmarks/reports/``."""
+    """Print a report and persist it under ``benchmarks/reports/``.
+
+    Writes are atomic (temp file + rename) so an interrupted run can't
+    leave a truncated report behind.
+    """
 
     def _emit(name: str, text: str) -> None:
         print()
         print(text)
-        (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        final = report_dir / f"{name}.txt"
+        tmp = report_dir / f"{name}.txt.tmp"
+        tmp.write_text(text + "\n", encoding="utf-8")
+        tmp.replace(final)
 
     return _emit

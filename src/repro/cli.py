@@ -46,6 +46,15 @@ Commands
     scenario traffic; print a throughput/latency report and, with
     ``--verify``, byte-compare each session's firings against a
     sequential replay.
+
+``bench run|compare|report``
+    The performance observatory (see docs/PERF.md): ``run`` executes a
+    scenario suite with warm-up and repetitions, writes a
+    schema-versioned ``BENCH_<runid>.json`` artifact, and appends to
+    the ``trajectory.jsonl`` history; ``compare`` classifies every
+    metric against a baseline run with MAD-based noise thresholds and
+    attributes regressions to hot-spot movers; ``report`` renders the
+    trajectory as markdown.
 """
 
 from __future__ import annotations
@@ -369,6 +378,66 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from .perf.report import render_run_text
+    from .perf.runner import run_suite
+
+    try:
+        doc, path = run_suite(
+            suite=args.suite,
+            scenario_ids=tuple(args.scenario) or None,
+            repeat=args.repeat,
+            warmup=args.warmup,
+            out_dir=args.out_dir,
+            runid=args.runid,
+            note=args.note,
+            trajectory=not args.no_trajectory,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro bench run: {exc}")
+    print(render_run_text(doc, path))
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .perf.compare import compare_docs, resolve_doc
+
+    try:
+        baseline = resolve_doc(args.out_dir, args.baseline)
+        current = resolve_doc(args.out_dir, args.current)
+        result = compare_docs(
+            baseline,
+            current,
+            stable_only=args.stable_only,
+            movers_limit=args.movers,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro bench compare: {exc}")
+    print(result.format())
+    return 0 if result.ok else 1
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .perf.report import load_trajectory, render_markdown
+
+    try:
+        entries = load_trajectory(
+            os.path.join(args.out_dir, "trajectory.jsonl")
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro bench report: {exc}")
+    text = render_markdown(entries, limit=args.limit)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(entries)} runs)")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -492,6 +561,62 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enable the obs event bus for the run and write "
                            "a Chrome-trace JSON file")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_bench = sub.add_parser(
+        "bench", help="performance observatory (see docs/PERF.md)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="run a scenario suite; write a BENCH_<runid>.json"
+    )
+    b_run.add_argument("--suite", default="smoke",
+                       help="smoke | full | all (default smoke)")
+    b_run.add_argument("--scenario", action="append", default=[],
+                       metavar="ID",
+                       help="run this scenario instead of a suite "
+                            "(repeatable)")
+    b_run.add_argument("--repeat", type=int, default=5,
+                       help="timed repetitions per scenario "
+                            "(deterministic scenarios always run once)")
+    b_run.add_argument("--warmup", type=int, default=1,
+                       help="discarded warm-up repetitions")
+    b_run.add_argument("--out-dir", default="benchmarks",
+                       help="artifact + trajectory directory")
+    b_run.add_argument("--runid", help="override the generated run id")
+    b_run.add_argument("--note", default="",
+                       help="free-form note stored in the artifact")
+    b_run.add_argument("--no-trajectory", action="store_true",
+                       help="write the artifact only; skip the "
+                            "trajectory append")
+    b_run.set_defaults(func=cmd_bench_run)
+
+    b_cmp = bench_sub.add_parser(
+        "compare", help="classify metric movement vs a baseline run"
+    )
+    b_cmp.add_argument("--out-dir", default="benchmarks")
+    b_cmp.add_argument("--baseline", default="prev",
+                       help="runid, artifact path, 'latest', or 'prev' "
+                            "(default: prev)")
+    b_cmp.add_argument("--current", default="latest",
+                       help="runid, artifact path, 'latest', or 'prev' "
+                            "(default: latest)")
+    b_cmp.add_argument("--stable-only", action="store_true",
+                       help="compare deterministic metrics only "
+                            "(cross-machine safe)")
+    b_cmp.add_argument("--movers", type=int, default=5,
+                       help="hot-spot movers listed per regressed scenario")
+    b_cmp.set_defaults(func=cmd_bench_compare)
+
+    b_rep = bench_sub.add_parser(
+        "report", help="render the trajectory as markdown"
+    )
+    b_rep.add_argument("--out-dir", default="benchmarks")
+    b_rep.add_argument("--limit", type=int, default=20,
+                       help="most recent runs shown")
+    b_rep.add_argument("--out", metavar="FILE",
+                       help="write the markdown here instead of stdout")
+    b_rep.set_defaults(func=cmd_bench_report)
 
     return parser
 

@@ -105,6 +105,14 @@ def enabled() -> bool:
     return ENABLED
 
 
+def dropped_total() -> int:
+    """Spans dropped to the per-worker buffer caps, summed across live
+    buffers — cheaper than :func:`snapshot` (no span copying), suited
+    to hot exposition paths like ``serve stats``."""
+    with _reg_lock:
+        return sum(buf.dropped for buf in _registry)
+
+
 def reset() -> None:
     """Drop all recorded data.  Threads re-register lazily (their cached
     buffers carry a stale epoch and are abandoned on next use)."""

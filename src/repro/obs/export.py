@@ -115,12 +115,16 @@ def prometheus_text(
     server: Dict[str, Any],
     sessions: Optional[Dict[str, Dict[str, Any]]] = None,
     netcache: Optional[Dict[str, Any]] = None,
+    obs: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Serve counters in the Prometheus text exposition format.
 
     ``server`` is a :meth:`~repro.serve.metrics.ServerMetrics.snapshot`,
     ``sessions`` a ``{sid: session snapshot}`` map, ``netcache`` a
-    :meth:`~repro.serve.netcache.NetworkCache.stats` dict.
+    :meth:`~repro.serve.netcache.NetworkCache.stats` dict, and ``obs``
+    event-bus health (``enabled`` flag plus the ``dropped_events``
+    span-buffer-saturation count from
+    :func:`repro.obs.events.dropped_total`).
     """
     lines: List[str] = []
 
@@ -166,6 +170,20 @@ def prometheus_text(
             metric = f"repro_netcache_{fieldname}_total"
             family(metric, "counter", f"Network cache {fieldname}.")
             lines.append(f"{metric} {netcache.get(fieldname, 0)}")
+
+    if obs is not None:
+        family(
+            "repro_obs_enabled", "gauge",
+            "Whether the obs event bus is collecting (1) or idle (0).",
+        )
+        lines.append(f"repro_obs_enabled {1 if obs.get('enabled') else 0}")
+        family(
+            "repro_obs_dropped_events_total", "counter",
+            "Spans dropped by the obs event-bus per-worker buffer caps.",
+        )
+        lines.append(
+            f"repro_obs_dropped_events_total {obs.get('dropped_events', 0)}"
+        )
 
     if sessions:
         session_fields = ("transactions", "cycles", "firings", "wm_ops", "errors")

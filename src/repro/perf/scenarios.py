@@ -1,0 +1,422 @@
+"""The declarative scenario registry driving ``repro bench``.
+
+Each :class:`Scenario` names one measured workload — a paper-table
+contrast, a simulated parallel sweep, the threaded engine, or a
+service-layer burst — and declares every metric it produces as a
+:class:`MetricSpec`: the unit, which direction is *better*, and the
+noise tolerances the compare engine applies (see docs/PERF.md).
+
+Two metric families, deliberately separated:
+
+* ``stable=True`` metrics are deterministic functions of the tree —
+  simulated Multimax instruction counts, speed-ups, spin counts,
+  activation totals.  They carry near-zero tolerances and are the
+  cross-machine regression gate (CI compares them against a committed
+  seed artifact).
+* wall-clock metrics (seconds, txn/s, latency) are host-dependent and
+  noisy; they carry generous relative tolerances plus the MAD-based
+  noise band, and are only compared between runs on comparable hosts.
+
+The ``smoke`` suite is sized to finish in a few seconds (small weaver
+grid, a 3-session service burst); ``full`` adds the paper-table
+workloads at the ``repro.harness`` bench sizes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Optional, Tuple
+
+#: Suite names scenarios may claim membership of.
+SUITES = ("smoke", "full")
+
+#: Default tolerance for deterministic (simulator-derived) metrics:
+#: wide enough to absorb float formatting, far below any real change.
+STABLE_REL_TOL = 1e-3
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric a scenario emits."""
+
+    name: str
+    unit: str
+    direction: str  # "lower" | "higher" is better
+    rel_tol: float
+    abs_tol: float = 0.0
+    stable: bool = False
+    headline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"bad direction {self.direction!r} for {self.name}")
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError(f"negative tolerance for {self.name}")
+
+
+@dataclass
+class RepResult:
+    """What one repetition of a scenario produced."""
+
+    metrics: Dict[str, float]
+    #: Compiled network of the run, for node→production attribution in
+    #: the captured hot-spot profile (None when not applicable).
+    network: object = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload: measurement callable plus metric specs."""
+
+    scenario_id: str
+    title: str
+    suites: Tuple[str, ...]
+    specs: Tuple[MetricSpec, ...]
+    run: Callable[[], RepResult] = field(repr=False, default=None)
+    #: Capture an obs hot-spot profile in a dedicated extra repetition.
+    profiled: bool = True
+    #: Fixed repetition count overriding the runner's ``--repeat``
+    #: (None = use the runner's).  Stable-only scenarios always run once.
+    repeat: Optional[int] = None
+
+    @property
+    def stable_only(self) -> bool:
+        return all(spec.stable for spec in self.specs)
+
+    def spec(self, name: str) -> Optional[MetricSpec]:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Workload helpers
+# ---------------------------------------------------------------------------
+
+#: Smoke-suite weaver sizing: ~0.1 s of match per run — large enough to
+#: time, small enough that warm-up + repetitions stay interactive.
+_SMOKE_WEAVER = dict(grid=5, n_nets=1)
+
+
+def _smoke_source() -> str:
+    from ..programs import weaver
+
+    return weaver.source(**_SMOKE_WEAVER)
+
+
+def _run_match(source: str, memory: str):
+    """One sequential run; returns ``(match_seconds, stats, network)``."""
+    from ..ops5.interpreter import Interpreter
+
+    interp = Interpreter(source, memory=memory)
+    interp.run(max_cycles=50000)
+    return interp.matcher.match_seconds, interp.stats, interp.network
+
+
+def _match_weaver() -> RepResult:
+    source = _smoke_source()
+    hash_s, stats, network = _run_match(source, "hash")
+    linear_s, _stats, _net = _run_match(source, "linear")
+    return RepResult(
+        metrics={
+            "match_hash_s": hash_s,
+            "match_linear_s": linear_s,
+            "linear_hash_ratio": linear_s / hash_s if hash_s else 0.0,
+            "activations": float(stats.node_activations),
+            "wm_changes": float(stats.wme_changes),
+        },
+        network=network,
+    )
+
+
+def _sim_weaver() -> RepResult:
+    from ..ops5.interpreter import Interpreter
+    from ..rete.trace import TraceRecorder
+    from ..simulator.engine import simulate
+
+    recorder = TraceRecorder()
+    interp = Interpreter(_smoke_source(), recorder=recorder)
+    interp.run(max_cycles=50000)
+    trace = recorder.trace
+
+    def base(scheme: str):
+        return simulate(trace, n_match=1, n_queues=1, lock_scheme=scheme,
+                        pipelined=False)
+
+    simple_base = base("simple")
+    mrsw_base = base("mrsw")
+    s_3_1 = simulate(trace, n_match=3, n_queues=1, lock_scheme="simple")
+    s_7_8 = simulate(trace, n_match=7, n_queues=8, lock_scheme="simple")
+    m_7_8 = simulate(trace, n_match=7, n_queues=8, lock_scheme="mrsw")
+    s_7_1 = simulate(trace, n_match=7, n_queues=1, lock_scheme="simple")
+    return RepResult(
+        metrics={
+            "uniproc_minstr": simple_base.match_instr / 1e6,
+            "speedup_1p3_1q": simple_base.match_instr / s_3_1.match_instr,
+            "speedup_1p7_8q": simple_base.match_instr / s_7_8.match_instr,
+            "speedup_mrsw_1p7_8q": mrsw_base.match_instr / m_7_8.match_instr,
+            "queue_spins_1p7_1q": s_7_1.queue_stats.mean_spins,
+            "line_spins_1p7_8q": s_7_8.line_left.mean_spins,
+        },
+        network=interp.network,
+    )
+
+
+def _parallel_weaver() -> RepResult:
+    from ..ops5.interpreter import Interpreter
+    from ..ops5.parser import parse_program
+    from ..parallel.engine import ParallelMatcher
+    from ..rete.network import ReteNetwork
+
+    program = parse_program(_smoke_source())
+    network = ReteNetwork.compile(program)
+    matcher = ParallelMatcher(network, n_workers=2, n_queues=2,
+                              lock_scheme="simple")
+    interp = Interpreter(program, matcher=matcher, network=network)
+    started = perf_counter()
+    try:
+        interp.run(max_cycles=50000)
+    finally:
+        interp.close()
+    return RepResult(
+        metrics={"wall_s": perf_counter() - started},
+        network=network,
+    )
+
+
+def _serve_loadgen() -> RepResult:
+    from ..serve.loadgen import run_loadgen
+
+    report = asyncio.run(
+        run_loadgen(scenario="blocks", sessions=3, transactions=6, spawn=True)
+    )
+    wall = report.wall_seconds or 1e-9
+    return RepResult(
+        metrics={
+            "txn_s": report.txns_ok / wall,
+            "p95_ms": report.latency.get("p95_ms", 0.0),
+            "errors": float(report.errors),
+            "busy_retries": float(report.busy_retries),
+        }
+    )
+
+
+# -- full-suite workloads (paper bench sizes; minutes, not seconds) ---------
+
+
+def _full_uniproc() -> RepResult:
+    """Table 4-1/4-4 contrast at bench sizes, measured fresh (no memo)."""
+    from ..harness.workloads import program_source
+
+    metrics: Dict[str, float] = {}
+    network = None
+    for prog in ("weaver", "rubik", "tourney"):
+        source = program_source(prog)
+        vs2_s, _stats, network = _run_match(source, "hash")
+        vs1_s, _stats, _net = _run_match(source, "linear")
+        metrics[f"{prog}_vs1_s"] = vs1_s
+        metrics[f"{prog}_vs2_s"] = vs2_s
+        metrics[f"{prog}_vs1_vs2"] = vs1_s / vs2_s if vs2_s else 0.0
+    return RepResult(metrics=metrics, network=network)
+
+
+def _full_sim_sweeps() -> RepResult:
+    """Endpoint speed-ups/spins of Tables 4-5..4-9 at bench sizes."""
+    from ..harness.workloads import sim, speedup
+
+    metrics: Dict[str, float] = {}
+    for prog in ("weaver", "rubik", "tourney"):
+        metrics[f"{prog}_speedup_1p13_1q"] = speedup(
+            prog, n_match=13, n_queues=1, lock_scheme="simple")
+        metrics[f"{prog}_speedup_1p13_8q"] = speedup(
+            prog, n_match=13, n_queues=8, lock_scheme="simple")
+        metrics[f"{prog}_speedup_mrsw_1p13_8q"] = speedup(
+            prog, n_match=13, n_queues=8, lock_scheme="mrsw")
+        metrics[f"{prog}_queue_spins_1p13_1q"] = sim(
+            prog, n_match=13, n_queues=1,
+            lock_scheme="simple").queue_stats.mean_spins
+    return RepResult(metrics=metrics)
+
+
+def _full_serve_throughput() -> RepResult:
+    from ..serve.loadgen import run_loadgen
+
+    metrics: Dict[str, float] = {}
+    for scenario, sessions in (("blocks", 4), ("tourney", 12)):
+        report = asyncio.run(
+            run_loadgen(scenario=scenario, sessions=sessions,
+                        transactions=15, spawn=True)
+        )
+        wall = report.wall_seconds or 1e-9
+        metrics[f"{scenario}_x{sessions}_txn_s"] = report.txns_ok / wall
+        metrics[f"{scenario}_x{sessions}_p95_ms"] = report.latency.get(
+            "p95_ms", 0.0)
+        metrics[f"{scenario}_x{sessions}_errors"] = float(report.errors)
+    return RepResult(metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+def _wall(name: str, unit: str = "s", direction: str = "lower",
+          rel_tol: float = 0.6, headline: bool = False) -> MetricSpec:
+    return MetricSpec(name, unit, direction, rel_tol, headline=headline)
+
+
+def _stable(name: str, unit: str, direction: str,
+            headline: bool = False) -> MetricSpec:
+    return MetricSpec(name, unit, direction, STABLE_REL_TOL,
+                      stable=True, headline=headline)
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    if scenario.scenario_id in SCENARIOS:
+        raise ValueError(f"duplicate scenario {scenario.scenario_id!r}")
+    names = [s.name for s in scenario.specs]
+    if len(names) != len(set(names)):
+        raise ValueError(f"duplicate metric in {scenario.scenario_id!r}")
+    unknown = set(scenario.suites) - set(SUITES)
+    if unknown:
+        raise ValueError(f"unknown suites {unknown} in {scenario.scenario_id!r}")
+    SCENARIOS[scenario.scenario_id] = scenario
+    return scenario
+
+
+_register(Scenario(
+    scenario_id="match-weaver",
+    title="Sequential match, weaver 5x5 grid: hash vs linear memories",
+    suites=("smoke", "full"),
+    specs=(
+        _wall("match_hash_s", headline=True),
+        _wall("match_linear_s"),
+        MetricSpec("linear_hash_ratio", "x", "higher", 0.6),
+        _stable("activations", "count", "lower"),
+        _stable("wm_changes", "count", "lower"),
+    ),
+    run=_match_weaver,
+))
+
+_register(Scenario(
+    scenario_id="sim-weaver",
+    title="Simulated Multimax sweep, weaver 5x5: k procs x queues x locks",
+    suites=("smoke", "full"),
+    specs=(
+        _stable("uniproc_minstr", "Minstr", "lower"),
+        _stable("speedup_1p3_1q", "x", "higher"),
+        _stable("speedup_1p7_8q", "x", "higher", headline=True),
+        _stable("speedup_mrsw_1p7_8q", "x", "higher"),
+        _stable("queue_spins_1p7_1q", "spins", "lower"),
+        _stable("line_spins_1p7_8q", "spins", "lower"),
+    ),
+    run=_sim_weaver,
+))
+
+_register(Scenario(
+    scenario_id="parallel-weaver",
+    title="Threaded parallel engine, weaver 5x5, 2 workers / 2 queues",
+    suites=("smoke", "full"),
+    specs=(
+        MetricSpec("wall_s", "s", "lower", 0.75, headline=True),
+    ),
+    run=_parallel_weaver,
+))
+
+_register(Scenario(
+    scenario_id="serve-loadgen",
+    title="Service layer: 3 sessions x 6 transactions, blocks scenario",
+    suites=("smoke", "full"),
+    specs=(
+        MetricSpec("txn_s", "txn/s", "higher", 0.6, headline=True),
+        MetricSpec("p95_ms", "ms", "lower", 1.5),
+        MetricSpec("errors", "count", "lower", 0.0, stable=True),
+        MetricSpec("busy_retries", "count", "lower", 0.0, abs_tol=20.0),
+    ),
+    run=_serve_loadgen,
+    profiled=False,
+))
+
+_register(Scenario(
+    scenario_id="tables-uniproc",
+    title="Tables 4-1/4-4 contrast at harness bench sizes",
+    suites=("full",),
+    specs=tuple(
+        spec
+        for prog in ("weaver", "rubik", "tourney")
+        for spec in (
+            _wall(f"{prog}_vs1_s", rel_tol=0.5),
+            _wall(f"{prog}_vs2_s", rel_tol=0.5,
+                  headline=(prog == "tourney")),
+            MetricSpec(f"{prog}_vs1_vs2", "x", "higher", 0.5),
+        )
+    ),
+    run=_full_uniproc,
+    repeat=1,
+))
+
+_register(Scenario(
+    scenario_id="sim-sweeps",
+    title="Tables 4-5..4-9 endpoints at harness bench sizes",
+    suites=("full",),
+    specs=tuple(
+        spec
+        for prog in ("weaver", "rubik", "tourney")
+        for spec in (
+            _stable(f"{prog}_speedup_1p13_1q", "x", "higher"),
+            _stable(f"{prog}_speedup_1p13_8q", "x", "higher",
+                    headline=(prog == "rubik")),
+            _stable(f"{prog}_speedup_mrsw_1p13_8q", "x", "higher"),
+            _stable(f"{prog}_queue_spins_1p13_1q", "spins", "lower"),
+        )
+    ),
+    run=_full_sim_sweeps,
+    profiled=False,
+))
+
+_register(Scenario(
+    scenario_id="serve-throughput",
+    title="Service throughput at scale points (blocks x4, tourney x12)",
+    suites=("full",),
+    specs=tuple(
+        spec
+        for scenario, sessions in (("blocks", 4), ("tourney", 12))
+        for spec in (
+            MetricSpec(f"{scenario}_x{sessions}_txn_s", "txn/s", "higher", 0.6),
+            MetricSpec(f"{scenario}_x{sessions}_p95_ms", "ms", "lower", 1.5),
+            MetricSpec(f"{scenario}_x{sessions}_errors", "count", "lower",
+                       0.0, stable=True),
+        )
+    ),
+    run=_full_serve_throughput,
+    profiled=False,
+    repeat=1,
+))
+
+
+def select(suite: Optional[str] = None,
+           scenario_ids: Optional[Tuple[str, ...]] = None) -> Dict[str, Scenario]:
+    """Scenarios for one suite name (``"all"`` = everything) or an
+    explicit id list; raises ``ValueError`` for unknown names."""
+    if scenario_ids:
+        unknown = [sid for sid in scenario_ids if sid not in SCENARIOS]
+        if unknown:
+            raise ValueError(
+                f"unknown scenarios {unknown}; available: {sorted(SCENARIOS)}"
+            )
+        return {sid: SCENARIOS[sid] for sid in scenario_ids}
+    if suite == "all":
+        return dict(SCENARIOS)
+    if suite not in SUITES:
+        raise ValueError(
+            f"unknown suite {suite!r}; expected one of {SUITES + ('all',)}"
+        )
+    return {
+        sid: sc for sid, sc in SCENARIOS.items() if suite in sc.suites
+    }

@@ -314,6 +314,10 @@ class ReproServer:
                     s.session_id: s.snapshot() for s in self.sessions.values()
                 },
                 netcache=self.netcache.stats(),
+                obs={
+                    "enabled": obs_events.enabled(),
+                    "dropped_events": obs_events.dropped_total(),
+                },
             )
             return ok_response(req_id, format="prometheus", body=text)
         return ok_response(

@@ -112,3 +112,20 @@ class TestPrometheus:
             self.SERVER, sessions={'s"1': {"transactions": 1, "wm_size": 0}}
         )
         assert 'session="s\\"1"' in text
+
+    def test_obs_dropped_events(self):
+        text = prometheus_text(
+            self.SERVER, obs={"enabled": True, "dropped_events": 17}
+        )
+        assert "# TYPE repro_obs_dropped_events_total counter" in text
+        assert "repro_obs_dropped_events_total 17" in text
+        assert "repro_obs_enabled 1" in text
+        # Omitting the section keeps pre-existing scrapes unchanged.
+        assert "repro_obs" not in prometheus_text(self.SERVER)
+
+    def test_obs_dropped_total_tracks_buffer_saturation(self, obs):
+        events.enable(max_events_per_worker=2)
+        for i in range(5):
+            events.span("cat", "name", i, i + 1)
+        assert events.dropped_total() == 3
+        assert events.snapshot().dropped == 3

@@ -1,0 +1,280 @@
+"""Compare-engine classification, edge cases, and regression attribution."""
+
+import pytest
+
+from repro.perf.compare import NOISE_K, compare_docs, resolve_doc
+
+from .helpers import clone, make_doc, make_metric, make_scenario
+
+
+def one_metric_docs(base_metric, cur_metric, name="m", profile=None,
+                    cur_profile=None):
+    base = make_doc("base", {"s": make_scenario({name: base_metric},
+                                                profile=profile)})
+    cur = make_doc("cur", {"s": make_scenario({name: cur_metric},
+                                              profile=cur_profile)})
+    return base, cur
+
+
+def classification(result, key):
+    return next(d.classification for d in result.deltas if d.key == key)
+
+
+class TestClassification:
+    def test_unchanged_tree_is_all_unchanged(self):
+        base = make_doc(
+            "base",
+            {"s": make_scenario({
+                "wall_s": make_metric(0.5, mad=0.01, rel_tol=0.3),
+                "speedup": make_metric(5.0, direction="higher", stable=True,
+                                       rel_tol=1e-3),
+            })},
+        )
+        result = compare_docs(base, clone(base, "cur"))
+        assert result.ok
+        assert {d.classification for d in result.deltas} == {"unchanged"}
+
+    def test_lower_is_better_regression(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.1), make_metric(1.5, rel_tol=0.1)
+        )
+        result = compare_docs(base, cur)
+        assert classification(result, "s.m") == "regressed"
+        assert not result.ok
+
+    def test_lower_is_better_improvement(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.1), make_metric(0.5, rel_tol=0.1)
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "improved"
+
+    def test_higher_is_better_direction_flips(self):
+        # Throughput dropping is a regression; rising is an improvement.
+        base, cur = one_metric_docs(
+            make_metric(100.0, direction="higher", rel_tol=0.1),
+            make_metric(50.0, direction="higher", rel_tol=0.1),
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "regressed"
+        base, cur = one_metric_docs(
+            make_metric(100.0, direction="higher", rel_tol=0.1),
+            make_metric(200.0, direction="higher", rel_tol=0.1),
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "improved"
+
+    def test_within_tolerance_is_unchanged_both_directions(self):
+        for direction in ("lower", "higher"):
+            base, cur = one_metric_docs(
+                make_metric(1.0, direction=direction, rel_tol=0.2),
+                make_metric(1.1, direction=direction, rel_tol=0.2),
+            )
+            assert classification(compare_docs(base, cur), "s.m") == "unchanged"
+
+    def test_mad_widens_the_noise_band(self):
+        # 30% movement, nominal rel_tol 10% — but both runs measured
+        # noisy (MAD 0.05 each): 3*(0.05+0.05)=0.3 covers the delta.
+        base, cur = one_metric_docs(
+            make_metric(1.0, mad=0.05, rel_tol=0.1),
+            make_metric(1.3, mad=0.05, rel_tol=0.1),
+        )
+        result = compare_docs(base, cur)
+        assert classification(result, "s.m") == "unchanged"
+        delta = result.deltas[0]
+        assert delta.threshold == pytest.approx(NOISE_K * 0.1)
+
+    def test_single_sample_mad_zero_falls_back_to_rel_tol(self):
+        # One sample each => MAD 0; the declared rel_tol is the only
+        # band, so a 5% move inside rel_tol=0.1 stays unchanged and a
+        # 20% move regresses.
+        base, cur = one_metric_docs(
+            make_metric(1.0, samples=[1.0], rel_tol=0.1),
+            make_metric(1.05, samples=[1.05], rel_tol=0.1),
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "unchanged"
+        base, cur = one_metric_docs(
+            make_metric(1.0, samples=[1.0], rel_tol=0.1),
+            make_metric(1.2, samples=[1.2], rel_tol=0.1),
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "regressed"
+
+    def test_zero_tolerance_exact_metric(self):
+        # stable counters: any movement flags, equality never does.
+        base, cur = one_metric_docs(
+            make_metric(0.0, rel_tol=0.0), make_metric(0.0, rel_tol=0.0)
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "unchanged"
+        base, cur = one_metric_docs(
+            make_metric(0.0, rel_tol=0.0), make_metric(1.0, rel_tol=0.0)
+        )
+        assert classification(compare_docs(base, cur), "s.m") == "regressed"
+
+
+class TestOneSidedMetrics:
+    def test_metric_only_in_current_is_added(self):
+        base = make_doc("base", {"s": make_scenario({"old": make_metric(1.0)})})
+        cur = make_doc("cur", {"s": make_scenario({
+            "old": make_metric(1.0), "new": make_metric(2.0)})})
+        result = compare_docs(base, cur)
+        assert classification(result, "s.new") == "added"
+        assert result.ok  # additions never gate
+
+    def test_metric_only_in_baseline_is_removed(self):
+        base = make_doc("base", {"s": make_scenario({
+            "old": make_metric(1.0), "gone": make_metric(2.0)})})
+        cur = make_doc("cur", {"s": make_scenario({"old": make_metric(1.0)})})
+        result = compare_docs(base, cur)
+        assert classification(result, "s.gone") == "removed"
+        assert result.ok
+
+    def test_empty_baseline_everything_added(self):
+        base = make_doc("base", {})
+        cur = make_doc("cur", {"s": make_scenario({"m": make_metric(1.0)})})
+        result = compare_docs(base, cur)
+        assert result.ok
+        assert {d.classification for d in result.deltas} == {"added"}
+
+    def test_whole_scenario_added(self):
+        base = make_doc("base", {"s": make_scenario({"m": make_metric(1.0)})})
+        cur = make_doc("cur", {
+            "s": make_scenario({"m": make_metric(1.0)}),
+            "s2": make_scenario({"m2": make_metric(3.0)}),
+        })
+        result = compare_docs(base, cur)
+        assert classification(result, "s2.m2") == "added"
+
+
+class TestStableOnly:
+    def test_stable_only_skips_wall_metrics(self):
+        base = make_doc("base", {"s": make_scenario({
+            "wall_s": make_metric(1.0, rel_tol=0.1),
+            "instr": make_metric(100.0, stable=True, rel_tol=1e-3),
+        })})
+        cur = make_doc("cur", {"s": make_scenario({
+            "wall_s": make_metric(9.0, rel_tol=0.1),  # would regress
+            "instr": make_metric(100.0, stable=True, rel_tol=1e-3),
+        })})
+        result = compare_docs(base, cur, stable_only=True)
+        assert result.ok
+        assert [d.metric for d in result.deltas] == ["instr"]
+
+
+class TestInjectedSlowdownAttribution:
+    """The acceptance scenario: a perturbed node/lock must be flagged
+    as regressed and *named* by the hot-spot attribution."""
+
+    @staticmethod
+    def profile(node_ms: float, lock_wait_ms: float):
+        return {
+            "nodes": [
+                {"node_id": 42, "kind": "join", "production": "cross-pair",
+                 "activations": 10, "self_ms": node_ms, "examined": 50,
+                 "emitted": 5},
+                {"node_id": 7, "kind": "and", "production": "quiet-rule",
+                 "activations": 3, "self_ms": 0.2, "examined": 3,
+                 "emitted": 1},
+            ],
+            "locks": [
+                {"label": "line", "acquires": 100, "contended": 30,
+                 "contention_ratio": 0.3, "wait_ms": lock_wait_ms,
+                 "hold_ms": 1.0},
+            ],
+            "productions": [
+                {"production": "cross-pair", "activations": 10,
+                 "self_ms": node_ms, "examined": 50},
+            ],
+            "total_activations": 13,
+            "dropped": 0,
+        }
+
+    def test_slow_node_named_as_top_mover(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.1),
+            make_metric(5.0, rel_tol=0.1),  # injected 5x slowdown
+            name="match_s",
+            profile=self.profile(node_ms=1.0, lock_wait_ms=0.5),
+            cur_profile=self.profile(node_ms=4.8, lock_wait_ms=0.5),
+        )
+        result = compare_docs(base, cur)
+        assert not result.ok
+        movers = result.movers["s"]
+        assert movers, "regressed scenario must carry attribution"
+        top = movers[0]
+        assert top.kind in ("node", "production")
+        assert "cross-pair" in top.label
+        assert top.delta_ms == pytest.approx(3.8)
+        # the rendered report names the perturbed production too
+        assert "cross-pair" in result.format()
+
+    def test_contended_lock_named_as_top_mover(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.1),
+            make_metric(3.0, rel_tol=0.1),
+            name="match_s",
+            profile=self.profile(node_ms=1.0, lock_wait_ms=0.5),
+            cur_profile=self.profile(node_ms=1.0, lock_wait_ms=40.0),
+        )
+        result = compare_docs(base, cur)
+        top = result.movers["s"][0]
+        assert top.kind == "lock" and top.label == "line"
+        assert "line" in result.format()
+
+    def test_missing_profile_yields_empty_attribution(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.1), make_metric(5.0, rel_tol=0.1)
+        )
+        result = compare_docs(base, cur)
+        assert result.movers == {"s": []}
+        assert "no profile recorded" in result.format()
+
+    def test_unregressed_scenarios_get_no_attribution(self):
+        base, cur = one_metric_docs(
+            make_metric(1.0, rel_tol=0.5),
+            make_metric(1.1, rel_tol=0.5),
+            profile=self.profile(1.0, 0.5),
+            cur_profile=self.profile(2.0, 0.5),
+        )
+        assert compare_docs(base, cur).movers == {}
+
+
+class TestValidationAndResolution:
+    def test_invalid_baseline_rejected(self):
+        cur = make_doc("cur", {"s": make_scenario({"m": make_metric(1.0)})})
+        with pytest.raises(ValueError, match="baseline artifact invalid"):
+            compare_docs({"schema": "repro.bench/1"}, cur)
+
+    def test_resolve_by_path_runid_latest_prev(self, tmp_path):
+        import json
+
+        from repro.perf.report import append_trajectory, trajectory_entry
+
+        out = tmp_path / "bench"
+        out.mkdir()
+        for runid in ("a1", "a2"):
+            doc = make_doc(runid, {"s": make_scenario({"m": make_metric(1.0)})})
+            path = out / f"BENCH_{runid}.json"
+            path.write_text(json.dumps(doc), encoding="utf-8")
+            append_trajectory(
+                str(out / "trajectory.jsonl"),
+                trajectory_entry(doc, artifact=path.name),
+            )
+        assert resolve_doc(str(out), "latest")["runid"] == "a2"
+        assert resolve_doc(str(out), "prev")["runid"] == "a1"
+        assert resolve_doc(str(out), "a1")["runid"] == "a1"
+        assert resolve_doc(str(out), str(out / "BENCH_a2.json"))["runid"] == "a2"
+        with pytest.raises(ValueError, match="no artifact for runid"):
+            resolve_doc(str(out), "zz")
+
+    def test_resolve_prev_needs_two_runs(self, tmp_path):
+        import json
+
+        from repro.perf.report import append_trajectory, trajectory_entry
+
+        out = tmp_path / "bench"
+        out.mkdir()
+        doc = make_doc("only", {"s": make_scenario({"m": make_metric(1.0)})})
+        (out / "BENCH_only.json").write_text(json.dumps(doc), encoding="utf-8")
+        append_trajectory(
+            str(out / "trajectory.jsonl"),
+            trajectory_entry(doc, artifact="BENCH_only.json"),
+        )
+        with pytest.raises(ValueError, match="needs at least 2"):
+            resolve_doc(str(out), "prev")

@@ -1,0 +1,127 @@
+"""Trajectory persistence round-trips and report rendering."""
+
+import pytest
+
+from repro.perf.report import (
+    append_trajectory,
+    load_trajectory,
+    render_markdown,
+    render_run_text,
+    trajectory_entry,
+)
+
+from .helpers import make_doc, make_metric, make_scenario
+
+
+def entry_for(runid, medians, headline=()):
+    doc = make_doc(
+        runid,
+        {"s": make_scenario({
+            name: make_metric(v, headline=(name in headline))
+            for name, v in medians.items()
+        })},
+    )
+    return trajectory_entry(doc, artifact=f"BENCH_{runid}.json")
+
+
+class TestTrajectoryEntry:
+    def test_extracts_medians_and_headline(self):
+        entry = entry_for("r1", {"a": 1.5, "b": 2.5}, headline=("b",))
+        assert entry["runid"] == "r1"
+        assert entry["artifact"] == "BENCH_r1.json"
+        assert entry["metrics"] == {"s.a": 1.5, "s.b": 2.5}
+        assert entry["headline"] == ["s.b"]
+        assert entry["suite"] == "smoke"
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "trajectory.jsonl")
+        first = entry_for("r1", {"a": 1.0})
+        second = entry_for("r2", {"a": 2.0})
+        append_trajectory(path, first)  # creates the parent dir
+        append_trajectory(path, second)
+        assert load_trajectory(path) == [first, second]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_trajectory(str(tmp_path / "absent.jsonl")) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_trajectory(str(path), entry_for("r1", {"a": 1.0}))
+        path.write_text(path.read_text() + "\n\n", encoding="utf-8")
+        assert len(load_trajectory(str(path))) == 1
+
+    def test_corrupt_line_names_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_trajectory(str(path), entry_for("r1", {"a": 1.0}))
+        path.write_text(path.read_text() + "{broken\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"t\.jsonl:2: bad trajectory"):
+            load_trajectory(str(path))
+
+    def test_non_entry_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"no_runid": true}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a trajectory entry"):
+            load_trajectory(str(path))
+
+
+class TestRenderMarkdown:
+    def test_empty_history(self):
+        text = render_markdown([])
+        assert "No recorded runs yet" in text
+
+    def test_table_uses_headline_columns(self):
+        entries = [
+            entry_for("r1", {"a": 1.0, "b": 5.0}, headline=("b",)),
+            entry_for("r2", {"a": 1.1, "b": 10.0}, headline=("b",)),
+        ]
+        text = render_markdown(entries)
+        assert "| run | date | suite | s.b |" in text
+        assert "| r1 |" in text and "| r2 |" in text
+        assert "s.a" not in text  # non-headline metrics stay out
+        assert "## Movement: r1 → r2" in text
+        assert "`s.b`: 5 → 10 (+100.0%)" in text
+        assert "repro bench compare" in text
+
+    def test_no_headline_falls_back_to_first_metrics(self):
+        text = render_markdown([entry_for("r1", {"a": 1.0})])
+        assert "| run | date | suite | s.a |" in text
+
+    def test_limit_windows_recent_runs(self):
+        entries = [entry_for(f"r{i}", {"a": float(i)}) for i in range(10)]
+        text = render_markdown(entries, limit=3)
+        assert "| r9 |" in text and "| r7 |" in text
+        assert "| r6 |" not in text
+
+    def test_metric_missing_from_one_run(self):
+        entries = [
+            entry_for("r1", {"a": 1.0}, headline=("a",)),
+            entry_for("r2", {"b": 2.0}, headline=("b",)),
+        ]
+        text = render_markdown(entries)
+        # Column set comes from the latest run; r1 shows a dash.
+        assert "| r1 | 2026-08-06T00:00:00+0000 | smoke | - |" in text
+        assert "`s.b`: - → 2" in text
+
+
+class TestRenderRunText:
+    def test_summary_lines(self):
+        doc = make_doc(
+            "r1",
+            {"s": make_scenario(
+                {
+                    "wall_s": make_metric(0.5, mad=0.01, headline=True),
+                    "instr": make_metric(100.0, stable=True, unit="Minstr"),
+                },
+                counters={"lock_contention_ratio": 0.25,
+                          "dropped_events": 3.0},
+            )},
+        )
+        text = render_run_text(doc, "benchmarks/BENCH_r1.json")
+        assert "bench run r1 suite=smoke (1 scenarios)" in text
+        assert "*wall_s" in text  # headline marker
+        assert "[stable]" in text
+        assert "lock contention ratio: 0.250" in text
+        assert "dropped obs events: 3" in text
+        assert text.endswith("artifact: benchmarks/BENCH_r1.json")

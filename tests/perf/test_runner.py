@@ -1,0 +1,159 @@
+"""run_suite: sampling, reduction, artifact emission, obs integration."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.perf.report import load_trajectory
+from repro.perf.runner import _mad, _median, make_runid, run_suite
+from repro.perf.scenarios import SCENARIOS, MetricSpec, RepResult, Scenario
+from repro.perf.schema import validate_bench_doc
+
+
+def counting_scenario(counter, stable=False, metrics=("m",)):
+    """A cheap fake scenario whose run() increments ``counter['runs']``."""
+
+    def run():
+        counter["runs"] += 1
+        return RepResult(
+            metrics={name: float(counter["runs"]) for name in metrics}
+        )
+
+    return Scenario(
+        scenario_id="fake",
+        title="fake",
+        suites=("smoke",),
+        specs=tuple(
+            MetricSpec(name, "s", "lower", 0.1, stable=stable)
+            for name in metrics
+        ),
+        run=run,
+        profiled=False,
+    )
+
+
+class TestStatistics:
+    def test_median_odd_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_mad_robust_to_outlier(self):
+        values = [1.0, 1.1, 0.9, 50.0]
+        center = _median(values)
+        assert _mad(values, center) == pytest.approx(0.1, abs=0.01)
+
+    def test_runid_shape(self):
+        runid = make_runid()
+        assert len(runid) == 20 and runid[8] == "-" and runid[15] == "-"
+
+
+class TestRunSuite:
+    def test_artifact_written_and_schema_valid(self, tmp_path):
+        counter = {"runs": 0}
+        registry = {"fake": counting_scenario(counter)}
+        doc, path = run_suite(
+            repeat=3, warmup=1, out_dir=str(tmp_path), runid="r1",
+            registry=registry,
+        )
+        assert validate_bench_doc(doc) == []
+        assert counter["runs"] == 4  # 1 warmup + 3 timed
+        entry = doc["scenarios"]["fake"]
+        assert entry["repeat"] == 3 and entry["warmup"] == 1
+        assert entry["metrics"]["m"]["samples"] == [2.0, 3.0, 4.0]
+        assert entry["metrics"]["m"]["median"] == 3.0
+        # On-disk copy round-trips and no temp file leaks behind it.
+        assert json.loads(
+            (tmp_path / "BENCH_r1.json").read_text()
+        ) == doc
+        assert os.path.basename(path) == "BENCH_r1.json"
+        assert [p.name for p in tmp_path.iterdir()] and all(
+            ".tmp" not in p.name for p in tmp_path.iterdir()
+        )
+
+    def test_trajectory_appended_per_run(self, tmp_path):
+        counter = {"runs": 0}
+        registry = {"fake": counting_scenario(counter)}
+        for runid in ("r1", "r2"):
+            run_suite(repeat=1, warmup=0, out_dir=str(tmp_path),
+                      runid=runid, registry=registry)
+        entries = load_trajectory(str(tmp_path / "trajectory.jsonl"))
+        assert [e["runid"] for e in entries] == ["r1", "r2"]
+        assert entries[0]["artifact"] == "BENCH_r1.json"
+        assert "fake.m" in entries[0]["metrics"]
+
+    def test_no_trajectory_flag(self, tmp_path):
+        counter = {"runs": 0}
+        run_suite(repeat=1, warmup=0, out_dir=str(tmp_path), runid="r1",
+                  registry={"fake": counting_scenario(counter)},
+                  trajectory=False)
+        assert not (tmp_path / "trajectory.jsonl").exists()
+
+    def test_stable_scenario_forced_to_single_rep(self, tmp_path):
+        counter = {"runs": 0}
+        registry = {"fake": counting_scenario(counter, stable=True)}
+        doc, _ = run_suite(repeat=5, warmup=2, out_dir=str(tmp_path),
+                           runid="r1", registry=registry)
+        # No warmup, one repetition: deterministic values need neither.
+        assert counter["runs"] == 1
+        entry = doc["scenarios"]["fake"]
+        assert entry["repeat"] == 1 and entry["warmup"] == 0
+        assert entry["metrics"]["m"]["mad"] == 0.0
+
+    def test_metric_name_mismatch_rejected(self, tmp_path):
+        bad = Scenario(
+            scenario_id="bad",
+            title="bad",
+            suites=("smoke",),
+            specs=(MetricSpec("declared", "s", "lower", 0.1),),
+            run=lambda: RepResult(metrics={"produced": 1.0}),
+            profiled=False,
+        )
+        with pytest.raises(ValueError, match="declares"):
+            run_suite(repeat=1, warmup=0, out_dir=str(tmp_path),
+                      registry={"bad": bad})
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="repeat"):
+            run_suite(repeat=0, out_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="bad runid"):
+            run_suite(repeat=1, out_dir=str(tmp_path),
+                      runid="../escape",
+                      registry={"fake": counting_scenario({"runs": 0})})
+
+    def test_unknown_suite_propagates(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite(suite="nope", out_dir=str(tmp_path))
+
+
+class TestObsProfileIntegration:
+    """A real profiled scenario: the extra rep must capture a hot-spot
+    profile with node→production attribution, and leave the bus off."""
+
+    def test_profiled_run_attaches_profile_and_counters(self, tmp_path):
+        registry = {"match-weaver": SCENARIOS["match-weaver"]}
+        doc, _ = run_suite(repeat=1, warmup=0, out_dir=str(tmp_path),
+                           runid="r1", registry=registry)
+        assert validate_bench_doc(doc) == []
+        entry = doc["scenarios"]["match-weaver"]
+        profile = entry["profile"]
+        assert profile is not None and profile["nodes"]
+        top = profile["nodes"][0]
+        assert top["self_ms"] > 0
+        assert top["production"]  # attribution resolved via the network
+        assert entry["counters"]["dropped_events"] == 0
+        # The profiled rep must not leave the global bus enabled.
+        assert not obs_events.enabled()
+        assert obs_events.snapshot().workers == {}
+
+    def test_parallel_scenario_captures_lock_counters(self, tmp_path):
+        registry = {"parallel-weaver": SCENARIOS["parallel-weaver"]}
+        doc, _ = run_suite(repeat=1, warmup=0, out_dir=str(tmp_path),
+                           runid="r1", registry=registry)
+        entry = doc["scenarios"]["parallel-weaver"]
+        counters = entry["counters"]
+        assert counters["obs.queue.push"] > 0
+        assert counters["lock_acquires"] > 0
+        assert 0.0 <= counters["lock_contention_ratio"] <= 1.0
+        assert entry["profile"]["locks"]  # taskcount/queue/line waits

@@ -1,0 +1,87 @@
+"""BENCH artifact schema validation."""
+
+from repro.perf.schema import validate_bench_doc
+
+from .helpers import make_doc, make_metric, make_scenario
+
+
+def valid_doc():
+    return make_doc(
+        "r1",
+        {
+            "s": make_scenario(
+                {"m": make_metric(1.0, samples=[1.0, 1.1])},
+                profile={
+                    "nodes": [
+                        {"node_id": 3, "kind": "join", "production": "p",
+                         "activations": 2, "self_ms": 1.5, "examined": 4,
+                         "emitted": 1}
+                    ],
+                    "locks": [
+                        {"label": "queue", "acquires": 5, "contended": 1,
+                         "contention_ratio": 0.2, "wait_ms": 0.1,
+                         "hold_ms": 0.4}
+                    ],
+                    "productions": [
+                        {"production": "p", "activations": 2, "self_ms": 1.5,
+                         "examined": 4}
+                    ],
+                    "total_activations": 2,
+                    "dropped": 0,
+                },
+            )
+        },
+    )
+
+
+class TestValidateBenchDoc:
+    def test_valid_doc_passes(self):
+        assert validate_bench_doc(valid_doc()) == []
+
+    def test_not_an_object(self):
+        assert validate_bench_doc([]) == ["document is not a JSON object"]
+
+    def test_missing_top_level_fields(self):
+        problems = validate_bench_doc({})
+        assert any("schema" in p for p in problems)
+        assert any("runid" in p for p in problems)
+        assert any("scenarios" in p for p in problems)
+
+    def test_unknown_schema_family(self):
+        doc = valid_doc()
+        doc["schema"] = "other.format/9"
+        assert any("unknown schema family" in p
+                   for p in validate_bench_doc(doc))
+
+    def test_empty_samples_flagged(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["metrics"]["m"]["samples"] = []
+        assert any("samples missing or empty" in p
+                   for p in validate_bench_doc(doc))
+
+    def test_bad_direction_flagged(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["metrics"]["m"]["direction"] = "sideways"
+        assert any("direction" in p for p in validate_bench_doc(doc))
+
+    def test_negative_tolerance_flagged(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["metrics"]["m"]["rel_tol"] = -0.1
+        assert any("rel_tol" in p for p in validate_bench_doc(doc))
+
+    def test_profile_rows_need_keys(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["profile"]["nodes"] = [{"kind": "join"}]
+        problems = validate_bench_doc(doc)
+        assert any("missing 'node_id'" in p for p in problems)
+        assert any("missing 'self_ms'" in p for p in problems)
+
+    def test_profile_optional(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["profile"] = None
+        assert validate_bench_doc(doc) == []
+
+    def test_counter_values_must_be_numbers(self):
+        doc = valid_doc()
+        doc["scenarios"]["s"]["counters"] = {"x": "lots"}
+        assert any("counter values" in p for p in validate_bench_doc(doc))

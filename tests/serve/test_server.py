@@ -105,6 +105,11 @@ class TestLifecycle:
             assert "repro_transactions_total 1" in body
             assert "repro_netcache_entries 1" in body
             assert f'repro_session_transactions_total{{session="{sid}"}} 1' in body
+            # Event-bus health: span-buffer saturation is visible from
+            # a plain stats scrape even when tracing is off.
+            assert "# TYPE repro_obs_dropped_events_total counter" in body
+            assert "repro_obs_dropped_events_total 0" in body
+            assert "repro_obs_enabled 0" in body
 
         with_server(scenario)
 

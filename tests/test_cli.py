@@ -278,3 +278,103 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBench:
+    @staticmethod
+    def bench_run(out_dir, runid):
+        return main([
+            "bench", "run", "--scenario", "match-weaver",
+            "--repeat", "1", "--warmup", "0",
+            "--out-dir", str(out_dir), "--runid", runid,
+        ])
+
+    def test_run_emits_artifact_and_trajectory(self, tmp_path, capsys):
+        import json
+
+        from repro.perf.schema import validate_bench_doc
+
+        assert self.bench_run(tmp_path, "r1") == 0
+        out = capsys.readouterr().out
+        assert "bench run r1" in out
+        assert "match_hash_s" in out
+        assert f"artifact: {tmp_path}" in out
+        doc = json.loads((tmp_path / "BENCH_r1.json").read_text())
+        assert validate_bench_doc(doc) == []
+        lines = (tmp_path / "trajectory.jsonl").read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["runid"] == "r1"
+
+    def test_unchanged_tree_compares_clean(self, tmp_path, capsys):
+        """Acceptance: two runs of the same tree -> no regressions."""
+        assert self.bench_run(tmp_path, "r1") == 0
+        assert self.bench_run(tmp_path, "r2") == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline r1 -> current r2" in out
+        assert "regressed=0" in out
+        assert "result: OK (no regressions)" in out
+
+    def test_compare_flags_injected_regression(self, tmp_path, capsys):
+        import json
+
+        assert self.bench_run(tmp_path, "r1") == 0
+        assert self.bench_run(tmp_path, "r2") == 0
+        # Inject a slowdown into the r2 artifact: inflate the stable
+        # activation count and one node's profile self-time.
+        path = tmp_path / "BENCH_r2.json"
+        doc = json.loads(path.read_text())
+        entry = doc["scenarios"]["match-weaver"]
+        entry["metrics"]["activations"]["median"] *= 2
+        entry["profile"]["nodes"][0]["self_ms"] += 100.0
+        perturbed = entry["profile"]["nodes"][0]["production"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["bench", "compare", "--out-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "match-weaver.activations" in out
+        assert "regressed" in out
+        assert "hot-spot movers" in out
+        assert perturbed in out  # attribution names the perturbed node
+
+    def test_compare_stable_only(self, tmp_path, capsys):
+        assert self.bench_run(tmp_path, "r1") == 0
+        assert self.bench_run(tmp_path, "r2") == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", "--out-dir", str(tmp_path),
+                     "--stable-only"]) == 0
+        out = capsys.readouterr().out
+        assert "activations" in out
+        assert "match_hash_s" not in out  # wall metrics skipped
+
+    def test_report_renders_trajectory(self, tmp_path, capsys):
+        assert self.bench_run(tmp_path, "r1") == 0
+        capsys.readouterr()
+        report_file = tmp_path / "report.md"
+        assert main(["bench", "report", "--out-dir", str(tmp_path),
+                     "--out", str(report_file)]) == 0
+        text = report_file.read_text()
+        assert "# Performance trajectory" in text
+        assert "| r1 |" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_empty_history(self, tmp_path, capsys):
+        assert main(["bench", "report", "--out-dir", str(tmp_path)]) == 0
+        assert "No recorded runs yet" in capsys.readouterr().out
+
+    def test_unknown_suite_is_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "run", "--suite", "nightly",
+                  "--out-dir", str(tmp_path)])
+        assert "unknown suite" in str(exc.value)
+
+    def test_unknown_scenario_is_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "run", "--scenario", "no-such",
+                  "--out-dir", str(tmp_path)])
+        assert "unknown scenarios" in str(exc.value)
+
+    def test_compare_without_history_is_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "compare", "--out-dir", str(tmp_path)])
+        assert "needs at least 2" in str(exc.value)
