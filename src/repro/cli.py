@@ -61,8 +61,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import closing
 from typing import List, Optional
 
+from .engines import ENGINE_NAMES
 from .ops5.interpreter import Interpreter
 from .ops5.parser import parse_program
 from .rete.network import ReteNetwork
@@ -89,13 +91,30 @@ def _read_source(path: str, verb: str) -> str:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
+    engine_opts: dict = {}
+    if args.engine != "sequential":
+        engine_opts["n_workers"] = args.workers
+    if args.engine == "threaded":
+        engine_opts["n_queues"] = args.queues
+        engine_opts["lock_scheme"] = args.locks
+    if args.engine == "mp":
+        from .engines import mp_supported
+
+        if not mp_supported():
+            raise SystemExit(
+                "repro run: --engine mp needs the 'fork' start method "
+                "(unavailable on this platform); try --engine threaded"
+            )
     interp = Interpreter(
         program,
         strategy=args.strategy,
         memory=args.memory,
         mode=args.mode,
+        engine=args.engine,
+        engine_opts=engine_opts,
     )
-    result = interp.run(max_cycles=args.max_cycles)
+    with closing(interp):
+        result = interp.run(max_cycles=args.max_cycles)
     for line in result.output:
         print(line)
     if args.trace:
@@ -447,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--strategy", choices=["lex", "mea"], default="lex")
     p_run.add_argument("--memory", choices=["hash", "linear"], default="hash")
     p_run.add_argument("--mode", choices=["compiled", "interpreted"], default="compiled")
+    p_run.add_argument("--engine", choices=list(ENGINE_NAMES), default="sequential",
+                       help="match backend: sequential, threaded (GIL-bound), "
+                            "or mp (one process per worker, real speedup)")
+    p_run.add_argument("--workers", type=int, default=2,
+                       help="match workers for --engine threaded/mp")
+    p_run.add_argument("--run-queues", type=int, default=1, dest="queues",
+                       help="task queues for --engine threaded")
+    p_run.add_argument("--run-locks", choices=["simple", "mrsw"], default="simple",
+                       dest="locks", help="line-lock scheme for --engine threaded")
     p_run.add_argument("--max-cycles", type=int, default=100000)
     p_run.add_argument("--stats", action="store_true")
     p_run.add_argument("--trace", action="store_true")

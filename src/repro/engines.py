@@ -1,0 +1,84 @@
+"""Engine registry: one place that knows how to build every matcher.
+
+The interpreter, the CLI, the service layer, the perf scenarios, and
+the conformance suite all pick match backends by name through this
+module, so adding a fourth engine means adding one entry here (and one
+fixture line in ``tests/conformance/``).
+
+Engines:
+
+``sequential``
+    :class:`~repro.rete.matcher.SequentialMatcher` — the paper's
+    uniprocessor engine.  Options: ``memory``, ``n_lines``,
+    ``recorder``.
+
+``threaded``
+    :class:`~repro.parallel.engine.ParallelMatcher` — thread-per-worker
+    with per-line locks.  Demonstrates the paper's synchronization
+    design under real interleavings but no speedup under the GIL.
+    Options: ``n_workers``, ``n_queues``, ``lock_scheme``, ``n_lines``.
+
+``mp``
+    :class:`~repro.parallel.mp.engine.ProcessMatcher` —
+    process-per-worker with shard-routed lines; the backend that can
+    actually use multiple CPUs.  Options: ``n_workers``, ``n_lines``.
+    Requires the ``fork`` start method (see :func:`mp_supported`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .rete.network import ReteNetwork
+
+#: Every engine name accepted by ``make_matcher`` / ``--engine`` /
+#: the serve ``open`` request, in documentation order.
+ENGINE_NAMES: Tuple[str, ...] = ("sequential", "threaded", "mp")
+
+
+def mp_supported() -> bool:
+    """Whether the ``mp`` engine can run on this platform."""
+    from .parallel.mp import mp_supported as _supported
+
+    return _supported()
+
+
+def make_matcher(
+    engine: str,
+    network: ReteNetwork,
+    *,
+    memory: str = "hash",
+    n_lines: int = 1024,
+    n_workers: int = 2,
+    n_queues: Optional[int] = None,
+    lock_scheme: str = "simple",
+    recorder=None,
+):
+    """Build the named match backend over a compiled ``network``.
+
+    Unknown names raise ``ValueError`` listing the valid ones, so CLI
+    and serve-layer validation can simply try and re-raise.
+    """
+    if engine == "sequential":
+        from .rete.matcher import SequentialMatcher
+
+        return SequentialMatcher(
+            network, memory=memory, n_lines=n_lines, recorder=recorder
+        )
+    if engine == "threaded":
+        from .parallel.engine import ParallelMatcher
+
+        return ParallelMatcher(
+            network,
+            n_workers=n_workers,
+            n_queues=n_queues if n_queues is not None else 1,
+            lock_scheme=lock_scheme,
+            n_lines=n_lines,
+        )
+    if engine == "mp":
+        from .parallel.mp import ProcessMatcher
+
+        return ProcessMatcher(network, n_workers=n_workers, n_lines=n_lines)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
+    )

@@ -119,6 +119,13 @@ class Interpreter:
         Any object with ``process_changes``; defaults to a
         :class:`~repro.rete.matcher.SequentialMatcher` built with the
         given ``memory``/``mode``/``n_lines``.
+    engine:
+        Alternative to ``matcher``: a backend name from
+        :data:`repro.engines.ENGINE_NAMES` (``'sequential'``,
+        ``'threaded'``, ``'mp'``), built over the compiled network via
+        :func:`repro.engines.make_matcher` with ``engine_opts`` as
+        keyword options (e.g. ``{'n_workers': 4}``).  Mutually
+        exclusive with ``matcher``.
     strategy:
         ``'lex'`` (default) or ``'mea'``.
     recorder:
@@ -147,6 +154,8 @@ class Interpreter:
         input_values: Optional[Sequence[Constant]] = None,
         network: Optional[ReteNetwork] = None,
         rhs_table: Optional[Dict[str, CompiledRHS]] = None,
+        engine: Optional[str] = None,
+        engine_opts: Optional[Dict[str, object]] = None,
     ) -> None:
         if isinstance(program, str):
             program = parse_program(program)
@@ -154,6 +163,16 @@ class Interpreter:
         self.network = network if network is not None else ReteNetwork.compile(
             program, mode=mode
         )
+        if engine is not None:
+            if matcher is not None:
+                raise ValueError("pass either matcher= or engine=, not both")
+            from ..engines import make_matcher
+
+            opts = dict(engine_opts or {})
+            opts.setdefault("memory", memory)
+            opts.setdefault("n_lines", n_lines)
+            opts.setdefault("recorder", recorder)
+            matcher = make_matcher(engine, self.network, **opts)
         if matcher is None:
             matcher = SequentialMatcher(
                 self.network, memory=memory, n_lines=n_lines, recorder=recorder

@@ -19,14 +19,18 @@ by its line's lock.
 **Honesty note on speed**: under CPython's GIL this engine demonstrates
 the *correctness* of the synchronization design (identical conflict
 sets to the sequential matcher under real interleavings) and yields
-real contention measurements, but no wall-clock speed-up — that is what
-the trace-driven Encore simulator (:mod:`repro.simulator`) is for.
+real contention measurements, but no wall-clock speed-up.  For measured
+multi-core speedup use the multiprocess backend
+(:mod:`repro.parallel.mp`, ``engine='mp'``), which replaces the line
+locks with shard ownership; for modelled Encore-Multimax speedups use
+the trace-driven simulator (:mod:`repro.simulator`).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from time import perf_counter
 from typing import List, Optional
 
 from ..obs import events as _obs
@@ -79,6 +83,10 @@ class ParallelMatcher:
         self._shutdown = False
         self._failures: List[BaseException] = []
         self._push_seq = 0
+        #: Wall-clock seconds spent inside match, mirroring
+        #: ``SequentialMatcher.match_seconds`` so ``--stats`` and the
+        #: perf scenarios read every engine the same way.
+        self.match_seconds = 0.0
         self._threads = [
             threading.Thread(target=self._worker, args=(i,), daemon=True, name=f"match-{i}")
             for i in range(n_workers)
@@ -92,6 +100,7 @@ class ParallelMatcher:
         """Pipeline the changes to the match processes; wait for quiescence."""
         if self._shutdown:
             raise RuntimeError("matcher already closed")
+        match_t0 = perf_counter()
         obs_on = _obs.ENABLED
         if obs_on:
             batch_t0 = _obs.now()
@@ -135,6 +144,7 @@ class ParallelMatcher:
             raise RuntimeError(
                 f"{self.memory.pending_deletes} conjugate deletes left parked"
             )
+        self.match_seconds += perf_counter() - match_t0
         return deltas
 
     def close(self) -> None:

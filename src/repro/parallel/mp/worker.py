@@ -1,0 +1,221 @@
+"""The match-process body of the multiprocess engine.
+
+Each worker is a forked child owning one shard of the token hash
+memories (the lines :class:`~repro.parallel.mp.shard.ShardMap` assigns
+it).  The compiled Rete network arrives by fork inheritance — shared
+read-only pages, never pickled — and all mutable match state is
+process-private, so no locks exist anywhere on the match path.
+
+Message protocol (inbound, one queue per worker):
+
+``("changes", seq, [(sign, wme), ...])``
+    One WM-change batch, broadcast to every worker.  Each worker runs
+    the alpha network over the whole batch (cheap, read-only) and keeps
+    exactly the root activations whose line it owns; non-line root
+    activations (single-CE terminals) belong to the batch's designated
+    worker so they are processed exactly once.
+
+``("act", node_id, side, sign, wmes)``
+    A forwarded activation for a line this worker owns, produced by a
+    peer whose join emitted a child token landing on our shard.
+
+``("flush", seq)``
+    Sent by the control process only at quiescence (TaskCount == 0, so
+    no task can still be in flight): reply on the results queue with
+    the accumulated conflict-set deltas, match stats, IPC counters and
+    the conjugate pending-delete count.
+
+``("stop",)``
+    Exit the process loop.
+
+Termination bookkeeping mirrors §3.2's TaskCount: the shared counter
+is incremented *before* any task becomes visible (one per worker per
+broadcast batch, one per forwarded activation) and decremented only
+after the receiving worker has fully drained the task *and* all local
+descendants, so the counter reaching zero proves global quiescence.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List
+
+from ...rete.memories import HashMemorySystem
+from ...rete.nodes import Activation, MatchContext
+from ...rete.stats import MatchStats
+from ...rete.token import Token
+from ..conjugate import ConjugateMemory
+from .shard import ShardMap
+
+#: How many locally-queued activations are processed between inbox
+#: polls.  Polling keeps the OS pipe drained so two workers forwarding
+#: heavily to each other cannot both block on a full pipe.
+POLL_EVERY = 64
+
+
+class _WorkerState:
+    """Everything one match process owns: shard memory, stats, queues."""
+
+    def __init__(self, wid, network, shard: ShardMap, inbox, outbox, taskcount):
+        self.wid = wid
+        self.network = network
+        self.shard = shard
+        self.inbox = inbox
+        self.outbox = outbox
+        self.taskcount = taskcount
+        self.nodes = {node.node_id: node for node in network.beta_nodes}
+        self.memory = ConjugateMemory(HashMemorySystem(n_lines=shard.n_lines))
+        self.ctx = MatchContext(self.memory, MatchStats(), strict=False)
+        self.local: List[Activation] = []
+        #: Forwarded tasks absorbed mid-drain; their TaskCount units are
+        #: released together with the batch unit after the drain.
+        self.borrowed = 0
+        self.stopping = False
+        #: Per-flush-window IPC counters (reset after every flush reply).
+        self.counters: Dict[str, int] = {
+            "tasks_local": 0, "tasks_forwarded": 0, "ipc_msgs": 0,
+        }
+        self._forward_queues = None  # set by run_worker
+
+    # -- TaskCount ----------------------------------------------------------
+
+    def _count_add(self, n: int) -> None:
+        with self.taskcount.get_lock():
+            self.taskcount.value += n
+
+    # -- task routing -------------------------------------------------------
+
+    def route_child(self, act: Activation) -> None:
+        node = act.node
+        if not node.uses_line():
+            # Terminals: no shared line, processed where produced.
+            self.local.append(act)
+            return
+        owner = self.shard.route(node.node_id, node.key_for(act.side, act.token))
+        if owner == self.wid:
+            self.local.append(act)
+        else:
+            self._count_add(1)
+            self.counters["tasks_forwarded"] += 1
+            self.counters["ipc_msgs"] += 1
+            self._forward_queues[owner].put(
+                ("act", node.node_id, act.side, act.sign, act.token.wmes)
+            )
+
+    def rebuild(self, msg) -> Activation:
+        _kind, node_id, side, sign, wmes = msg
+        return Activation(self.nodes[node_id], side, sign, Token.of(tuple(wmes)))
+
+    # -- the drain loop -----------------------------------------------------
+
+    def drain(self) -> None:
+        """Process the local stack to empty, absorbing forwarded tasks."""
+        processed = 0
+        while self.local:
+            act = self.local.pop()
+            children = act.node.activate(self.ctx, act)
+            self.counters["tasks_local"] += 1
+            for child in children:
+                self.route_child(child)
+            processed += 1
+            if processed % POLL_EVERY == 0:
+                self.absorb_inbox()
+
+    def absorb_inbox(self) -> None:
+        """Pull any forwarded activations waiting on our pipe.  A flush
+        cannot arrive here (it is only sent at TaskCount == 0, and we
+        hold at least one undecremented unit while draining)."""
+        while not self.inbox.empty():
+            msg = self.inbox.get()
+            if msg[0] == "act":
+                self.local.append(self.rebuild(msg))
+                self.borrowed += 1
+            elif msg[0] == "stop":
+                self.stopping = True
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected message {msg[0]!r} mid-drain")
+
+    def finish_units(self, own: int) -> None:
+        """Release the batch's TaskCount units after a complete drain."""
+        self._count_add(-(own + self.borrowed))
+        self.borrowed = 0
+
+    # -- message handlers ---------------------------------------------------
+
+    def on_changes(self, payload) -> None:
+        stats = self.ctx.stats
+        n_workers = self.shard.n_workers
+        for i, (sign, wme) in enumerate(payload):
+            mine = i % n_workers == self.wid
+            hits, n_tests = self.network.alpha_dispatch(wme)
+            if mine:
+                # Alpha work is replicated on every worker; only the
+                # change's designated worker counts it, so merged stats
+                # match the sequential matcher's.
+                stats.wme_changes += 1
+                stats.constant_tests += n_tests
+                stats.alpha_passes += len(hits)
+            token = Token.single(wme)
+            for terminal in hits:
+                for node, side in terminal.successors:
+                    if node.uses_line():
+                        key = node.key_for(side, token)
+                        if self.shard.route(node.node_id, key) == self.wid:
+                            self.local.append(Activation(node, side, sign, token))
+                    elif mine:
+                        self.local.append(Activation(node, side, sign, token))
+        self.drain()
+        self.finish_units(1)
+
+    def on_act(self, msg) -> None:
+        self.local.append(self.rebuild(msg))
+        self.drain()
+        self.finish_units(1)
+
+    def on_flush(self, seq: int) -> None:
+        deltas = [
+            (d.production.name, d.token.wmes, d.sign)
+            for d in self.ctx.cs_deltas
+        ]
+        self.ctx.cs_deltas = []
+        self.outbox.put((
+            "deltas",
+            self.wid,
+            seq,
+            deltas,
+            self.ctx.stats,
+            dict(self.counters),
+            self.memory.pending_deletes,
+        ))
+        for key in self.counters:
+            self.counters[key] = 0
+
+
+def run_worker(wid, network, shard, inboxes, outbox, taskcount) -> None:
+    """Process entry point: loop until ``("stop",)`` or failure.
+
+    Failures are reported on the results queue as
+    ``("error", wid, traceback_text)`` before the process exits, so the
+    control process can surface the real exception instead of a hang.
+    """
+    state = _WorkerState(wid, network, shard, inboxes[wid], outbox, taskcount)
+    state._forward_queues = inboxes
+    try:
+        while not state.stopping:
+            msg = state.inbox.get()
+            kind = msg[0]
+            if kind == "changes":
+                state.on_changes(msg[2])
+            elif kind == "act":
+                state.on_act(msg)
+            elif kind == "flush":
+                state.on_flush(msg[1])
+            elif kind == "stop":
+                break
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unknown message {kind!r}")
+    except BaseException:
+        try:
+            state.outbox.put(("error", wid, traceback.format_exc()))
+        finally:
+            raise

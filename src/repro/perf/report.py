@@ -134,6 +134,9 @@ def render_run_text(doc: Dict[str, Any], path: str) -> str:
         f"({len(doc['scenarios'])} scenarios)"
     ]
     for sid, scenario in sorted(doc["scenarios"].items()):
+        if scenario.get("skipped"):
+            lines.append(f"  {sid}: SKIPPED — {scenario['skipped']}")
+            continue
         lines.append(
             f"  {sid}: repeat={scenario['repeat']} warmup={scenario['warmup']}"
         )

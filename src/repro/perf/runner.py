@@ -91,6 +91,22 @@ def _run_scenario(
     scenario: Scenario, repeat: int, warmup: int
 ) -> Dict[str, Any]:
     """All repetitions of one scenario, reduced to its artifact entry."""
+    if scenario.precondition is not None:
+        reason = scenario.precondition()
+        if reason is not None:
+            # Skipped-with-reason: the entry records *why* instead of
+            # pretending a measurement happened; compare treats the
+            # missing metrics as added/removed, which never gates.
+            return {
+                "title": scenario.title,
+                "repeat": 0,
+                "warmup": 0,
+                "skipped": reason,
+                "metrics": {},
+                "counters": {},
+                "profile": None,
+            }
+
     effective_repeat = 1 if scenario.stable_only else (scenario.repeat or repeat)
     effective_warmup = 0 if scenario.stable_only else warmup
 

@@ -25,6 +25,7 @@ workloads at the ``repro.harness`` bench sizes.
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Optional, Tuple
@@ -80,6 +81,15 @@ class Scenario:
     #: Fixed repetition count overriding the runner's ``--repeat``
     #: (None = use the runner's).  Stable-only scenarios always run once.
     repeat: Optional[int] = None
+    #: Host check run before any repetition: returns ``None`` to
+    #: proceed or a human-readable reason string, in which case the
+    #: runner records ``{"skipped": reason, "metrics": {}}`` instead of
+    #: measuring (e.g. the mp speedup curve on a <4-core host).  The
+    #: compare engine treats a skipped side's metrics as added/removed,
+    #: which never gates.
+    precondition: Optional[Callable[[], Optional[str]]] = field(
+        repr=False, default=None
+    )
 
     @property
     def stable_only(self) -> bool:
@@ -185,6 +195,68 @@ def _parallel_weaver() -> RepResult:
         metrics={"wall_s": perf_counter() - started},
         network=network,
     )
+
+
+#: Worker counts of the mp speedup curve — the 1/2/4/8 ladder the
+#: paper's speedup tables climb (its 16-CPU Multimax going up in
+#: doublings); 1 worker is the self-baseline the ratios divide by.
+_MP_WORKER_LADDER = (1, 2, 4, 8)
+
+#: Cores needed before the curve means anything: with fewer than 4 the
+#: 4- and 8-worker points just measure oversubscription.
+_MP_MIN_CPUS = 4
+
+
+def _mp_precondition() -> Optional[str]:
+    from ..engines import mp_supported
+
+    if not mp_supported():
+        return "mp engine unavailable (no 'fork' start method)"
+    cpus = os.cpu_count() or 1
+    if cpus < _MP_MIN_CPUS:
+        return f"host has {cpus} CPU(s); speedup curve needs >= {_MP_MIN_CPUS}"
+    return None
+
+
+def _mp_speedup(source: str) -> RepResult:
+    """Match seconds at each rung of the worker ladder, plus ratios.
+
+    Times ``ProcessMatcher.match_seconds`` (dispatch to merge), the
+    multiprocess analogue of the quantity the paper's speedup tables
+    report — conflict resolution and RHS evaluation stay sequential in
+    the control process and are excluded, exactly as in the paper.
+    """
+    from ..ops5.interpreter import Interpreter
+    from ..ops5.parser import parse_program
+    from ..parallel.mp import ProcessMatcher
+    from ..rete.network import ReteNetwork
+
+    program = parse_program(source)
+    network = ReteNetwork.compile(program)
+    walls: Dict[int, float] = {}
+    for n_workers in _MP_WORKER_LADDER:
+        matcher = ProcessMatcher(network, n_workers=n_workers)
+        interp = Interpreter(program, matcher=matcher, network=network)
+        try:
+            interp.run(max_cycles=50000)
+        finally:
+            interp.close()
+        walls[n_workers] = matcher.match_seconds
+    base = walls[1] or 1e-9
+    metrics = {f"wall_{n}w_s": walls[n] for n in _MP_WORKER_LADDER}
+    for n in _MP_WORKER_LADDER[1:]:
+        metrics[f"speedup_{n}w"] = base / walls[n] if walls[n] else 0.0
+    return RepResult(metrics=metrics, network=network)
+
+
+def _mp_weaver() -> RepResult:
+    return _mp_speedup(_smoke_source())
+
+
+def _mp_tourney() -> RepResult:
+    from ..programs import tourney
+
+    return _mp_speedup(tourney.source(n_teams=8, n_rounds=12))
 
 
 def _serve_loadgen() -> RepResult:
@@ -327,6 +399,42 @@ _register(Scenario(
         MetricSpec("wall_s", "s", "lower", 0.75, headline=True),
     ),
     run=_parallel_weaver,
+))
+
+def _mp_specs() -> Tuple[MetricSpec, ...]:
+    """The speedup-curve metric block, shared by both mp scenarios.
+
+    Everything lives in the wall-clock family (host-dependent by
+    definition — the curve's whole point is how many CPUs the host
+    gives us), so none of it feeds the cross-machine stable gate.
+    """
+    specs = [_wall(f"wall_{n}w_s") for n in _MP_WORKER_LADDER]
+    for n in _MP_WORKER_LADDER[1:]:
+        specs.append(MetricSpec(f"speedup_{n}w", "x", "higher", 0.5,
+                                headline=(n == 4)))
+    return tuple(specs)
+
+
+_register(Scenario(
+    scenario_id="mp-speedup-weaver",
+    title="Multiprocess match speedup curve, weaver 5x5, 1/2/4/8 workers",
+    suites=("smoke", "full"),
+    specs=_mp_specs(),
+    run=_mp_weaver,
+    profiled=False,
+    repeat=1,
+    precondition=_mp_precondition,
+))
+
+_register(Scenario(
+    scenario_id="mp-speedup-tourney",
+    title="Multiprocess match speedup curve, tourney 8x12, 1/2/4/8 workers",
+    suites=("full",),
+    specs=_mp_specs(),
+    run=_mp_tourney,
+    profiled=False,
+    repeat=1,
+    precondition=_mp_precondition,
 ))
 
 _register(Scenario(

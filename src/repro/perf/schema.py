@@ -31,6 +31,11 @@ One ``repro bench run`` emits one ``BENCH_<runid>.json`` document:
       }
     }
 
+A scenario whose host precondition failed is recorded as
+``{"title": ..., "skipped": "<reason>", "metrics": {}, ...}`` — the
+reason string is mandatory when ``metrics`` is empty, so an artifact
+can never silently contain an unmeasured scenario.
+
 ``direction`` declares which way is better (``"lower"`` for seconds and
 spins, ``"higher"`` for speed-ups and throughput); ``stable`` marks
 metrics that are deterministic for a given tree (simulated instruction
@@ -140,8 +145,13 @@ def validate_bench_doc(doc: Any) -> List[str]:
         if not isinstance(scenario, dict):
             problems.append(f"{where}: not an object")
             continue
+        skipped = scenario.get("skipped")
+        if skipped is not None and (
+            not isinstance(skipped, str) or not skipped
+        ):
+            problems.append(f"{where}: skipped must be a non-empty string")
         metrics = scenario.get("metrics")
-        if not isinstance(metrics, dict) or not metrics:
+        if not isinstance(metrics, dict) or (not metrics and skipped is None):
             problems.append(f"{where}: metrics missing or empty")
         else:
             for name, stats in metrics.items():

@@ -204,6 +204,8 @@ class SweepResult:
     n_schedules: int
     failures: List[ScheduleReport] = field(default_factory=list)
     truncated: int = 0
+    #: Step budget the sweep ran under — part of the replay recipe.
+    max_steps: int = 200_000
 
     @property
     def ok(self) -> bool:
@@ -212,15 +214,27 @@ class SweepResult:
         return not self.failures and self.truncated == 0
 
     def format(self) -> str:
+        """Summary where every FAIL is reproducible from its own lines:
+        the replay line is the complete ``repro schedck`` invocation
+        (seed, policy, full engine config, step budget) — no need to
+        reconstruct flags from the packed config string."""
         lines = [
             f"schedck sweep: {self.n_schedules} schedules, "
             f"{len(self.failures)} failing, {self.truncated} truncated"
         ]
         for report in self.failures[:20]:
             first = report.violations[0]
+            cfg = report.config
             lines.append(
                 f"  FAIL seed={report.seed} policy={report.policy} "
-                f"config={report.config.describe()} — {first.format()}"
+                f"config={cfg.describe()} — {first.format()}"
+            )
+            lines.append(
+                f"    replay: python -m repro schedck"
+                f" --seed {report.seed} --policy {report.policy}"
+                f" --workers {cfg.n_workers} --queues {cfg.n_queues}"
+                f" --locks {cfg.lock_scheme} --lines {cfg.n_lines}"
+                f" --max-steps {self.max_steps}"
             )
         if len(self.failures) > 20:
             lines.append(f"  ... and {len(self.failures) - 20} more")
@@ -237,7 +251,7 @@ def sweep(
     on_report: Optional[Callable[[ScheduleReport], None]] = None,
 ) -> SweepResult:
     """Run ``n_schedules`` seeds round-robin over configs × policies."""
-    result = SweepResult(n_schedules=n_schedules)
+    result = SweepResult(n_schedules=n_schedules, max_steps=max_steps)
     for i in range(n_schedules):
         seed = base_seed + i
         config = configs[i % len(configs)]

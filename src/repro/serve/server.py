@@ -19,6 +19,7 @@ import asyncio
 from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
+from ..engines import ENGINE_NAMES, mp_supported
 from ..obs import events as obs_events
 from ..obs import profile as obs_profile
 from ..obs.export import prometheus_text
@@ -269,6 +270,25 @@ class ReproServer:
         strategy = msg.get("strategy", "lex")
         if strategy not in ("lex", "mea"):
             raise ProtocolError(E_BAD_REQUEST, f"unknown strategy {strategy!r}")
+        engine = msg.get("engine", "sequential")
+        if engine not in ENGINE_NAMES:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(ENGINE_NAMES)}",
+            )
+        workers = msg.get("workers", 2)
+        if not isinstance(workers, int) or not 1 <= workers <= 16:
+            raise ProtocolError(
+                E_BAD_REQUEST, "workers must be an integer in 1..16"
+            )
+        if engine == "mp" and not mp_supported():
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "engine 'mp' needs the 'fork' start method, which this "
+                "host lacks; use 'threaded' or 'sequential'",
+            )
+        engine_opts = {"n_workers": workers} if engine != "sequential" else None
         if len(self.sessions) >= self.limits.max_sessions:
             self.metrics.rejected_busy += 1
             raise ProtocolError(
@@ -282,7 +302,10 @@ class ReproServer:
             raise ProtocolError(E_PARSE, str(exc)) from None
         sid = f"s{self._next_session}"
         self._next_session += 1
-        core = SessionCore(sid, entry, limits=self.limits, strategy=strategy)
+        core = SessionCore(
+            sid, entry, limits=self.limits, strategy=strategy,
+            engine=engine, engine_opts=engine_opts,
+        )
         session = Session(core)
         session.start()
         self.sessions[sid] = session

@@ -62,16 +62,21 @@ class SessionCore:
         entry: CacheEntry,
         limits: Optional[ServiceLimits] = None,
         strategy: str = "lex",
+        engine: str = "sequential",
+        engine_opts: Optional[dict] = None,
     ) -> None:
         self.session_id = session_id
         self.entry = entry
         self.limits = limits or ServiceLimits()
         self.counters = SessionCounters()
+        self.engine = engine
         self.interp = Interpreter(
             entry.program,
             strategy=strategy,
             network=entry.network,
             rhs_table=entry.rhs_table,
+            engine=engine,
+            engine_opts=engine_opts,
         )
         self.interp.startup()
 

@@ -74,22 +74,30 @@ class TestTaskQueueSet:
             TaskQueueSet(0)
 
     def test_concurrent_push_pop_conserves_items(self):
+        # Consumers terminate on a shared "all items drained" event, not
+        # a fixed per-consumer quota: a quota leaves the slower consumer
+        # spinning unboundedly while the faster one overshoots, which
+        # made this test timing-sensitive under load.  Joins are bounded
+        # so a conservation bug fails loudly instead of hanging CI.
         q = TaskQueueSet(2)
+        total = 1000
         popped = []
         lock = threading.Lock()
+        drained = threading.Event()
 
         def producer(base):
             for i in range(500):
                 q.push(base + i, home=i)
 
         def consumer():
-            got = []
-            while len(got) < 500:
-                item = q.pop(home=len(got))
-                if item is not None:
-                    got.append(item)
-            with lock:
-                popped.extend(got)
+            while not drained.is_set():
+                item = q.pop(home=len(popped))
+                if item is None:
+                    continue
+                with lock:
+                    popped.append(item)
+                    if len(popped) == total:
+                        drained.set()
 
         threads = [
             threading.Thread(target=producer, args=(0,)),
@@ -100,7 +108,8 @@ class TestTaskQueueSet:
         for t in threads:
             t.start()
         for t in threads:
-            t.join()
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads), "drain did not finish"
         assert sorted(popped) == sorted(list(range(500)) + list(range(1000, 1500)))
 
     def test_lock_stats_counted(self):

@@ -26,7 +26,8 @@ class TestRegistryIntegrity:
 
     def test_smoke_suite_members(self):
         assert set(select("smoke")) == {
-            "match-weaver", "sim-weaver", "parallel-weaver", "serve-loadgen"
+            "match-weaver", "sim-weaver", "parallel-weaver", "serve-loadgen",
+            "mp-speedup-weaver",
         }
 
     def test_full_suite_superset_of_smoke(self):
