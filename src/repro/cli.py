@@ -24,6 +24,13 @@ Commands
     configuration grid (``--sweep N``).  Same seed, same report —
     byte for byte — so a failing CI seed can be replayed locally.
 
+``corgick``
+    Differential fuzzing of the corgi bounded-cost engine against the
+    sequential Rete oracle: replay one seeded case (``--seed N``) or
+    fuzz a seed range (``--sweep N``) over the generator profile
+    rotation.  Byte-stable reports, paste-ready replay lines — the
+    corgi twin of ``schedck``.
+
 ``trace FILE|BUILTIN``
     Run a program under the :mod:`repro.obs` event bus; write a
     Chrome-trace JSON file (load it at https://ui.perfetto.dev) and
@@ -92,7 +99,7 @@ def _read_source(path: str, verb: str) -> str:
 def cmd_run(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
     engine_opts: dict = {}
-    if args.engine != "sequential":
+    if args.engine in ("threaded", "mp"):
         engine_opts["n_workers"] = args.workers
     if args.engine == "threaded":
         engine_opts["n_queues"] = args.queues
@@ -213,8 +220,27 @@ def cmd_schedck(args: argparse.Namespace) -> int:
     return 0 if report.ok and not report.truncated else 1
 
 
+def cmd_corgick(args: argparse.Namespace) -> int:
+    from .corgi.diffcheck import PROFILES, run_seed, sweep
+
+    if args.profile != "rotate" and args.profile not in PROFILES:
+        raise SystemExit(
+            f"repro corgick: unknown profile {args.profile!r}; expected "
+            f"rotate or one of {', '.join(sorted(PROFILES))}"
+        )
+    if args.sweep:
+        result = sweep(args.sweep, base_seed=args.seed, profile=args.profile)
+        print(result.format())
+        return 0 if result.ok else 1
+    report = run_seed(args.seed, profile=args.profile)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 #: Program names ``trace``/``top`` resolve when the argument is not a file.
-_BUILTIN_PROGRAMS = ("blocks", "monkey", "tourney", "rubik", "weaver")
+_BUILTIN_PROGRAMS = (
+    "blocks", "monkey", "tourney", "rubik", "weaver", "crossfire", "negchain"
+)
 
 
 def _resolve_program_source(name_or_path: str, verb: str) -> str:
@@ -515,6 +541,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sck.add_argument("--max-steps", type=int, default=200_000)
     p_sck.set_defaults(func=cmd_schedck)
 
+    p_cck = sub.add_parser(
+        "corgick", help="differential fuzzing of the corgi engine vs sequential"
+    )
+    p_cck.add_argument("--seed", type=int, default=0,
+                       help="case seed (sweep: first seed of the range)")
+    p_cck.add_argument("--profile", default="rotate",
+                       help="rotate | shallow | deep | dense")
+    p_cck.add_argument("--sweep", type=int, default=0, metavar="N",
+                       help="fuzz N consecutive seeds")
+    p_cck.set_defaults(func=cmd_corgick)
+
     def _engine_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--parallel", type=int, default=0, metavar="K",
                        help="use the threaded parallel matcher with K workers")
@@ -532,7 +569,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trc.add_argument("file",
                        help="program file, or builtin: "
-                            "blocks | monkey | tourney | rubik | weaver")
+                            "blocks | monkey | tourney | rubik | weaver | "
+                            "crossfire | negchain")
     p_trc.add_argument("--out", default="trace.json",
                        help="Chrome-trace JSON output path (Perfetto-loadable)")
     _engine_flags(p_trc)
@@ -543,7 +581,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.add_argument("file",
                        help="program file, or builtin: "
-                            "blocks | monkey | tourney | rubik | weaver")
+                            "blocks | monkey | tourney | rubik | weaver | "
+                            "crossfire | negchain")
     p_top.add_argument("--by", choices=["production", "node", "lock", "phase"],
                        default="production")
     _engine_flags(p_top)

@@ -1,0 +1,11 @@
+"""corgi — the bounded-cost match engine (TREAT/CORGI family).
+
+See :mod:`repro.corgi.engine` for the design and
+:mod:`repro.corgi.diffcheck` for the differential-fuzzing harness that
+holds it to the sequential Rete engine's behaviour.
+"""
+
+from .engine import CorgiMatcher
+from .plan import RulePlan, SlotPlan, compile_plans
+
+__all__ = ["CorgiMatcher", "RulePlan", "SlotPlan", "compile_plans"]

@@ -1,0 +1,265 @@
+"""Differential fuzzing: corgi vs the sequential Rete oracle.
+
+The corgi analogue of :mod:`repro.schedck.runner`, minus the scheduler
+— corgi is sequential, so there are no interleavings to explore; what
+needs fuzzing is the *match algebra*: demand-driven enumeration,
+seeded dedup, hoisted negation gates and unlink/relink transitions
+against programs the author never wrote.  :func:`run_seed` derives a
+random program + WM workload from one seed via
+:mod:`repro.schedck.progen`, drives the sequential matcher and
+:class:`~repro.corgi.engine.CorgiMatcher` through identical batches in
+lockstep, and checks after every batch:
+
+* **conflict set** — the signed fold of both engines' CS deltas must
+  be identical (this is the state firing traces are computed from, so
+  equality here *is* trace equality for any downstream run);
+* **unlink invariant** — every production is linked iff all its
+  positive slot memories are non-empty, and unlinked productions hold
+  no instantiations;
+* **space bound** — corgi's resident tokens never exceed
+  ``slots x live WMEs + instantiations`` (there are no beta memories
+  to blow up).
+
+Reports are byte-stable per seed and every sweep failure line carries
+a paste-ready ``python -m repro corgick --seed N`` replay command,
+mirroring the schedck sweep UX.
+
+Seed profiles rotate through three corpora: ``shallow`` (the schedck
+default), ``deep`` (4-level chains — the blow-up shape), and ``dense``
+(a single value for every attribute: maximal bucket collisions and
+cross products).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ops5.parser import parse_program
+from ..ops5.wme import WMEChange
+from ..rete.matcher import SequentialMatcher
+from ..rete.network import ReteNetwork
+from ..schedck import progen
+from .engine import CorgiMatcher
+
+#: Named generator corpora; ``rotate`` cycles through them by seed.
+PROFILES: Dict[str, progen.ProgenParams] = {
+    "shallow": progen.ProgenParams(),
+    "deep": progen.ProgenParams(max_pos_ces=4, max_rules=3),
+    "dense": progen.ProgenParams(n_values=1, max_pos_ces=3),
+}
+PROFILE_ROTATION: Tuple[str, ...] = ("shallow", "deep", "dense")
+
+
+@dataclass
+class Mismatch:
+    """One divergence or invariant violation, at one batch index."""
+
+    kind: str
+    batch: int
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.kind}] batch {self.batch}: {self.detail}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one seeded differential run; byte-stable per seed."""
+
+    seed: int
+    profile: str
+    n_rules: int
+    n_changes: int
+    n_batches: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+    stats: List[Tuple[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        lines = [
+            f"corgick seed={self.seed} profile={self.profile}",
+            f"program: {self.n_rules} rules, {self.n_changes} WM changes "
+            f"in {self.n_batches} batches",
+        ]
+        for key, value in self.stats:
+            lines.append(f"  {key} = {value}")
+        if self.mismatches:
+            lines.append(f"mismatches: {len(self.mismatches)}")
+            lines.extend("  " + m.format() for m in self.mismatches)
+        else:
+            lines.append("mismatches: 0")
+        return "\n".join(lines)
+
+
+def _fold(cs: Counter, deltas) -> None:
+    for delta in deltas:
+        cs[(delta.production.name, delta.token.key)] += delta.sign
+
+
+def profile_for(seed: int, profile: str = "rotate") -> str:
+    if profile == "rotate":
+        return PROFILE_ROTATION[seed % len(PROFILE_ROTATION)]
+    return profile
+
+
+def check_invariants(corgi: CorgiMatcher, batch: int, live_wmes: int) -> List[Mismatch]:
+    """The corgi structural invariants, checkable at any quiescence."""
+    out: List[Mismatch] = []
+    for plan in corgi.plans:
+        sizes = corgi.slot_sizes(plan.name)
+        pos_nonempty = all(sizes[s.index] > 0 for s in plan.pos_slots)
+        if corgi.linked(plan.name) != pos_nonempty:
+            out.append(
+                Mismatch(
+                    "unlink_invariant",
+                    batch,
+                    f"{plan.name}: linked={corgi.linked(plan.name)} but "
+                    f"positive slot sizes {sizes}",
+                )
+            )
+        if not pos_nonempty and corgi._rules[plan.name].cs:
+            out.append(
+                Mismatch(
+                    "ghost_instantiations",
+                    batch,
+                    f"{plan.name}: unlinked but holds "
+                    f"{len(corgi._rules[plan.name].cs)} instantiations",
+                )
+            )
+    n_slots = sum(len(p.slots) for p in corgi.plans)
+    n_insts = sum(len(rs.cs) for rs in corgi._rules.values())
+    bound = n_slots * live_wmes + n_insts
+    resident = corgi.resident_tokens()
+    if resident > bound:
+        out.append(
+            Mismatch(
+                "space_bound",
+                batch,
+                f"resident tokens {resident} > slots*wmes+insts bound {bound}",
+            )
+        )
+    return out
+
+
+def run_seed(
+    seed: int,
+    profile: str = "rotate",
+    program: Optional[str] = None,
+    batches: Optional[List[List[WMEChange]]] = None,
+) -> DiffReport:
+    """One seeded differential run; engine divergence comes back as
+    report mismatches, never as an exception."""
+    prof = profile_for(seed, profile)
+    rng = random.Random(seed)
+    if program is None:
+        program, generated = progen.generate(rng, PROFILES[prof])
+        if batches is None:
+            batches = generated
+    elif batches is None:
+        raise ValueError("a pinned program needs pinned batches")
+    program_ast = parse_program(program)
+
+    seq = SequentialMatcher(ReteNetwork.compile(program_ast))
+    corgi = CorgiMatcher(ReteNetwork.compile(program_ast))
+    seq_cs: Counter = Counter()
+    corgi_cs: Counter = Counter()
+    mismatches: List[Mismatch] = []
+    live = 0
+
+    for bi, batch in enumerate(batches):
+        live += sum(change.sign for change in batch)
+        _fold(seq_cs, seq.process_changes(batch))
+        try:
+            _fold(corgi_cs, corgi.process_changes(batch))
+        except RuntimeError as exc:
+            mismatches.append(Mismatch("engine_error", bi, str(exc)))
+            break
+        if +seq_cs != +corgi_cs:
+            extra = sorted(set(+corgi_cs) - set(+seq_cs))
+            missing = sorted(set(+seq_cs) - set(+corgi_cs))
+            mismatches.append(
+                Mismatch(
+                    "conflict_set",
+                    bi,
+                    f"corgi extra={extra} missing={missing}",
+                )
+            )
+            break
+        mismatches.extend(check_invariants(corgi, bi, live))
+        if mismatches:
+            break
+
+    stats = [
+        ("tokens_emitted.seq", seq.stats.tokens_emitted),
+        ("tokens_emitted.corgi", corgi.stats.tokens_emitted),
+        ("node_activations.seq", seq.stats.node_activations),
+        ("node_activations.corgi", corgi.stats.node_activations),
+        ("corgi.unlinks", corgi.counters["unlinks"]),
+        ("corgi.relinks", corgi.counters["relinks"]),
+        ("corgi.lazy_skips", corgi.counters["lazy_skips"]),
+        ("corgi.gate_prunes", corgi.counters["gate_prunes"]),
+    ]
+    return DiffReport(
+        seed=seed,
+        profile=prof,
+        n_rules=len(program_ast.productions),
+        n_changes=sum(len(b) for b in batches),
+        n_batches=len(batches),
+        mismatches=mismatches,
+        stats=stats,
+    )
+
+
+@dataclass
+class DiffSweepResult:
+    """Aggregate of a corgi differential fuzz sweep."""
+
+    n_seeds: int
+    failures: List[DiffReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        """Every FAIL line is reproducible from its own replay line."""
+        lines = [
+            f"corgick sweep: {self.n_seeds} seeds, "
+            f"{len(self.failures)} failing"
+        ]
+        for report in self.failures[:20]:
+            first = report.mismatches[0]
+            lines.append(
+                f"  FAIL seed={report.seed} profile={report.profile} "
+                f"— {first.format()}"
+            )
+            lines.append(
+                f"    replay: python -m repro corgick"
+                f" --seed {report.seed} --profile {report.profile}"
+            )
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def sweep(
+    n_seeds: int,
+    base_seed: int = 0,
+    profile: str = "rotate",
+    on_report: Optional[Callable[[DiffReport], None]] = None,
+) -> DiffSweepResult:
+    """Run ``n_seeds`` consecutive seeds through :func:`run_seed`."""
+    result = DiffSweepResult(n_seeds=n_seeds)
+    for i in range(n_seeds):
+        report = run_seed(base_seed + i, profile=profile)
+        if on_report is not None:
+            on_report(report)
+        if not report.ok:
+            result.failures.append(report)
+    return result

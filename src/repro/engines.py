@@ -23,6 +23,13 @@ Engines:
     process-per-worker with shard-routed lines; the backend that can
     actually use multiple CPUs.  Options: ``n_workers``, ``n_lines``.
     Requires the ``fork`` start method (see :func:`mp_supported`).
+
+``corgi``
+    :class:`~repro.corgi.engine.CorgiMatcher` — bounded-cost matching
+    without beta memories: left/right unlinking, lazy (demand-driven)
+    join evaluation and hoisted negation gates keep adversarial
+    cross-product programs polynomial where Rete goes super-linear.
+    Takes no options (it is sequential and memory-less by design).
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from .rete.network import ReteNetwork
 
 #: Every engine name accepted by ``make_matcher`` / ``--engine`` /
 #: the serve ``open`` request, in documentation order.
-ENGINE_NAMES: Tuple[str, ...] = ("sequential", "threaded", "mp")
+ENGINE_NAMES: Tuple[str, ...] = ("sequential", "threaded", "mp", "corgi")
 
 
 def mp_supported() -> bool:
@@ -79,6 +86,10 @@ def make_matcher(
         from .parallel.mp import ProcessMatcher
 
         return ProcessMatcher(network, n_workers=n_workers, n_lines=n_lines)
+    if engine == "corgi":
+        from .corgi.engine import CorgiMatcher
+
+        return CorgiMatcher(network)
     raise ValueError(
         f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
     )

@@ -122,7 +122,8 @@ class Interpreter:
     engine:
         Alternative to ``matcher``: a backend name from
         :data:`repro.engines.ENGINE_NAMES` (``'sequential'``,
-        ``'threaded'``, ``'mp'``), built over the compiled network via
+        ``'threaded'``, ``'mp'``, ``'corgi'``), built over the
+        compiled network via
         :func:`repro.engines.make_matcher` with ``engine_opts`` as
         keyword options (e.g. ``{'n_workers': 4}``).  Mutually
         exclusive with ``matcher``.

@@ -276,6 +276,112 @@ def _serve_loadgen() -> RepResult:
     )
 
 
+#: Sizing for the corgi-adversarial contrast: large enough that eager
+#: Rete pays a visibly super-linear bill (~10^4..10^5 derived tokens),
+#: small enough for the smoke budget.
+_ADV_CROSS = dict(n_items=110, n_churn=40)
+_ADV_DEEP = dict(n_per_level=13, n_churn=6)
+
+_ADV_CROSS_SOURCE = """
+(p needle
+  (stage ^step cross)
+  (item ^id <x>)
+  (item ^id { <y> > <x> })
+  (probe ^a <x> ^b <y>)
+  -->
+  (halt))
+"""
+
+_ADV_DEEP_SOURCE = (
+    "(p chain (c0 ^a 1) (c1 ^a 1) (c2 ^a 1) - (blocker) --> (halt))"
+)
+
+
+def _adv_cross_batches(n_items: int, n_churn: int):
+    """Stage + N items against a forever-empty probe slot, then churn:
+    delete/re-add one item per round.  Eager Rete rebuilds ~N pair
+    tokens per round; an unlinked lazy engine does O(1)."""
+    from ..ops5.wme import WMEChange, WorkingMemory
+
+    wm = WorkingMemory()
+    batches = [[WMEChange(1, wm.add("stage", {"step": "cross"}))]
+               + [WMEChange(1, wm.add("item", {"id": i}))
+                  for i in range(n_items)]]
+    victim = None
+    for round_no in range(n_churn):
+        if victim is not None:
+            wm.remove(victim)
+        old = victim
+        victim = wm.add("item", {"id": round_no % n_items})
+        batch = [WMEChange(1, victim)]
+        if old is not None:
+            batch.insert(0, WMEChange(-1, old))
+        batches.append(batch)
+    return batches
+
+
+def _adv_deep_batches(n_per_level: int, n_churn: int):
+    """A same-value 3-chain behind a constant blocker: Rete derives
+    ~N^3 prefixes that the not-node then discards; a gate-hoisting
+    engine prunes at depth 0.  Churn re-adds a c0 each round."""
+    from ..ops5.wme import WMEChange, WorkingMemory
+
+    wm = WorkingMemory()
+    first = [WMEChange(1, wm.add("blocker", {}))]
+    for _ in range(n_per_level):
+        for level in range(3):
+            first.append(WMEChange(1, wm.add(f"c{level}", {"a": 1})))
+    batches = [first]
+    victim = None
+    for _ in range(n_churn):
+        batch = []
+        if victim is not None:
+            wm.remove(victim)
+            batch.append(WMEChange(-1, victim))
+        victim = wm.add("c0", {"a": 1})
+        batch.append(WMEChange(1, victim))
+        batches.append(batch)
+    return batches
+
+
+def _corgi_adversarial() -> RepResult:
+    """Headline contrast: sequential (eager) Rete vs the corgi lazy
+    engine on adversarial cross-product / blocked-chain loads, driven
+    at the matcher layer so both engines see identical WMEChange
+    batches.  Token counts are deterministic and feed the stable gate;
+    the wall seconds and speedups are the human-readable headline."""
+    from ..corgi.engine import CorgiMatcher
+    from ..ops5.parser import parse_program
+    from ..rete.matcher import SequentialMatcher
+    from ..rete.network import ReteNetwork
+
+    cases = (
+        ("cross", _ADV_CROSS_SOURCE, _adv_cross_batches(**_ADV_CROSS)),
+        ("deep", _ADV_DEEP_SOURCE, _adv_deep_batches(**_ADV_DEEP)),
+    )
+    metrics: Dict[str, float] = {}
+    network = None
+    for name, source, batches in cases:
+        program = parse_program(source)
+        for eng, factory in (("rete", SequentialMatcher),
+                             ("corgi", CorgiMatcher)):
+            net = ReteNetwork.compile(program)
+            matcher = factory(net)
+            started = perf_counter()
+            for batch in batches:
+                matcher.process_changes(batch)
+            metrics[f"{name}_{eng}_s"] = perf_counter() - started
+            metrics[f"{name}_{eng}_tokens"] = float(
+                matcher.stats.tokens_emitted)
+            if name == "cross" and eng == "rete":
+                network = net
+        metrics[f"{name}_speedup"] = (
+            metrics[f"{name}_rete_s"]
+            / max(metrics[f"{name}_corgi_s"], 1e-9)
+        )
+    return RepResult(metrics=metrics, network=network)
+
+
 # -- full-suite workloads (paper bench sizes; minutes, not seconds) ---------
 
 
@@ -448,6 +554,26 @@ _register(Scenario(
         MetricSpec("busy_retries", "count", "lower", 0.0, abs_tol=20.0),
     ),
     run=_serve_loadgen,
+    profiled=False,
+))
+
+_register(Scenario(
+    scenario_id="corgi-adversarial",
+    title="Lazy corgi vs eager Rete on cross-product / blocked-chain loads",
+    suites=("smoke", "full"),
+    specs=tuple(
+        spec
+        for case in ("cross", "deep")
+        for spec in (
+            _wall(f"{case}_rete_s"),
+            _wall(f"{case}_corgi_s"),
+            MetricSpec(f"{case}_speedup", "x", "higher", 0.6,
+                       headline=(case == "cross")),
+            _stable(f"{case}_rete_tokens", "count", "lower"),
+            _stable(f"{case}_corgi_tokens", "count", "lower"),
+        )
+    ),
+    run=_corgi_adversarial,
     profiled=False,
 ))
 

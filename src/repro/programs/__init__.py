@@ -1,7 +1,16 @@
 """The paper's three benchmark programs — Weaver (637 rules), Rubik
 (70 rules), Tourney (17 rules) — plus classic small OPS5 programs used
-by the examples and tests."""
+by the examples and tests, and two adversarial fixtures (crossfire,
+negchain) built for the cross-engine conformance matrix."""
 
-from . import blocks, monkey, rubik, tourney, weaver
+from . import blocks, crossfire, monkey, negchain, rubik, tourney, weaver
 
-__all__ = ["blocks", "monkey", "rubik", "tourney", "weaver"]
+__all__ = [
+    "blocks",
+    "crossfire",
+    "monkey",
+    "negchain",
+    "rubik",
+    "tourney",
+    "weaver",
+]

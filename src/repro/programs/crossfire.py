@@ -1,0 +1,112 @@
+"""Crossfire — a cross-product stressor for the conformance matrix.
+
+The program walks four phases driven by a ``stage`` WME:
+
+* **spawn** makes ``n_items`` ``item`` WMEs while the cross-product
+  rules are dormant (their leading ``stage`` CE fails), so the item
+  alpha memories fill up before any join fires;
+* **cross** flips the stage: one WM change makes every unordered item
+  pair live at once.  ``cross-pair`` materializes all N(N-1)/2 pairs;
+  ``needle`` extends the same cross-product with a ``probe`` CE that
+  matches exactly one pair — the shape where Rete stores the full
+  intermediate token set while a demand-driven engine derives only
+  what the probe asks for;
+* **probe** deletes the items one by one, storming the deletes back
+  through the loaded join memories;
+* **tally** counts and consumes the pairs, then reports and halts.
+
+Every engine must produce the same firing trace through all of this —
+the blow-up is match-cost pathology, not semantic ambiguity.
+"""
+
+from __future__ import annotations
+
+_RULES = """
+(literalize stage step count limit)
+(literalize item id)
+(literalize probe a b)
+(literalize pair lo hi)
+(literalize tally pairs)
+
+(p spawn-item
+  (stage ^step spawn ^limit <max> ^count { <c> < <max> })
+  -->
+  (make item ^id <c>)
+  (modify 1 ^count (compute <c> + 1)))
+
+(p spawn-done
+  (stage ^step spawn ^limit <max> ^count <max>)
+  -->
+  (modify 1 ^step cross))
+
+(p cross-pair
+  (stage ^step cross)
+  (item ^id <x>)
+  (item ^id { <y> > <x> })
+  -->
+  (make pair ^lo <x> ^hi <y>))
+
+(p needle
+  (stage ^step cross)
+  (item ^id <x>)
+  (item ^id { <y> > <x> })
+  (probe ^a <x> ^b <y>)
+  -->
+  (remove 4)
+  (write needle found <x> <y>))
+
+(p cross-done
+  (stage ^step cross)
+  -->
+  (modify 1 ^step probe))
+
+(p probe-item
+  (stage ^step probe)
+  (item ^id <x>)
+  -->
+  (remove 2))
+
+(p probe-done
+  (stage ^step probe)
+  - (item)
+  -->
+  (make tally ^pairs 0)
+  (modify 1 ^step tally))
+
+(p tally-pair
+  (stage ^step tally)
+  (tally ^pairs <n>)
+  (pair ^lo <x> ^hi <y>)
+  -->
+  (remove 3)
+  (modify 2 ^pairs (compute <n> + 1)))
+
+(p finish
+  (stage ^step tally)
+  (tally ^pairs <n>)
+  - (pair)
+  -->
+  (write crossfire counted <n> pairs)
+  (halt))
+"""
+
+
+def rules() -> str:
+    """The rule set alone (no startup)."""
+    return _RULES
+
+
+def startup_block(n_items: int = 7, probe: bool = True) -> str:
+    """``probe=True`` plants the one probe WME the needle rule will
+    find; ``False`` leaves the needle's last CE memory empty forever —
+    the pure lazy/unlinked shape."""
+    lines = ["(startup"]
+    if probe:
+        lines.append("  (make probe ^a 0 ^b 1)")
+    lines.append(f"  (make stage ^step spawn ^count 0 ^limit {n_items}))")
+    return "\n".join(lines)
+
+
+def source(n_items: int = 7, probe: bool = True) -> str:
+    """The crossfire program over ``n_items`` items."""
+    return _RULES + "\n" + startup_block(n_items, probe)

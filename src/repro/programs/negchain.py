@@ -1,0 +1,105 @@
+"""Negchain — a deep-chain negation program for the conformance matrix.
+
+A four-level chain rule (``deep-hit``) joins ``c0..c3`` on a shared
+variable and is held down by a negated ``blocker`` CE at the end of
+the chain — the shape of the pinned deep-chain blow-up regression
+(tests/schedck/test_deep_chain.py) with the negation that makes it
+interesting for a demand-driven engine:
+
+* **spawn** builds ``n_chains`` complete chains while the blocker
+  stands.  Rete derives and stores every partial token up the chain
+  anyway (the negation only pinches the last link); an engine with
+  hoisted negation gates proves the blocker blocks *before* doing any
+  join work;
+* **shake** modifies every ``c2`` once, churning the middle of the
+  loaded chain — delete/re-derive storms in Rete, O(1) per change
+  under a hoisted gate;
+* **probe** removes the blocker: every chain instantiation appears at
+  once, fires, and consumes its WMEs; then the program reports and
+  halts.
+
+As with crossfire, every engine must agree byte-for-byte — the chain
+churn is pure match cost.
+"""
+
+from __future__ import annotations
+
+_RULES = """
+(literalize stage step count limit)
+(literalize c0 a)
+(literalize c1 a)
+(literalize c2 a done)
+(literalize c3 a)
+(literalize blocker tag)
+(literalize hit v)
+
+(p spawn
+  (stage ^step spawn ^limit <max> ^count { <c> < <max> })
+  -->
+  (make c0 ^a <c>)
+  (make c1 ^a <c>)
+  (make c2 ^a <c> ^done no)
+  (make c3 ^a <c>)
+  (modify 1 ^count (compute <c> + 1)))
+
+(p spawn-done
+  (stage ^step spawn ^limit <max> ^count <max>)
+  -->
+  (modify 1 ^step shake))
+
+(p deep-hit
+  (c0 ^a <x>)
+  (c1 ^a <x>)
+  (c2 ^a <x>)
+  (c3 ^a <x>)
+  - (blocker)
+  -->
+  (make hit ^v <x>)
+  (remove 1)
+  (remove 2)
+  (remove 3)
+  (remove 4))
+
+(p shake
+  (stage ^step shake)
+  (c2 ^done no ^a <x>)
+  -->
+  (modify 2 ^done yes))
+
+(p unblock
+  (stage ^step shake)
+  (blocker)
+  - (c2 ^done no)
+  -->
+  (remove 2)
+  (modify 1 ^step probe))
+
+(p finish
+  (stage ^step probe)
+  - (c0)
+  -->
+  (write negchain all hits fired)
+  (halt))
+"""
+
+
+def rules() -> str:
+    """The rule set alone (no startup)."""
+    return _RULES
+
+
+def startup_block(n_chains: int = 5) -> str:
+    """The blocker is planted *before* the stage WME so the chain rule
+    is blocked from the very first spawn."""
+    return "\n".join(
+        [
+            "(startup",
+            "  (make blocker ^tag up)",
+            f"  (make stage ^step spawn ^count 0 ^limit {n_chains}))",
+        ]
+    )
+
+
+def source(n_chains: int = 5) -> str:
+    """The negchain program over ``n_chains`` chains."""
+    return _RULES + "\n" + startup_block(n_chains)

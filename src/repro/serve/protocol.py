@@ -10,11 +10,11 @@ Requests
 --------
 
 ``{"id": .., "type": "open", "program": "<ops5 text>", "strategy"?: "lex"|"mea",
-   "engine"?: "sequential"|"threaded"|"mp", "workers"?: int}``
+   "engine"?: "sequential"|"threaded"|"mp"|"corgi", "workers"?: int}``
     Compile (or reuse from the network cache) and open a session.
     ``engine`` picks the match backend (default ``sequential``);
     ``workers`` (1..16, default 2) sizes the ``threaded``/``mp``
-    engines and is ignored for ``sequential``.  Opening with
+    engines and is ignored for ``sequential``/``corgi``.  Opening with
     ``engine: "mp"`` on a host without the ``fork`` start method is
     rejected with ``bad_request``.
     → ``{"ok": true, "session": "s1", "cached": bool, "key": "<hash>"}``

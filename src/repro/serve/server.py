@@ -288,7 +288,11 @@ class ReproServer:
                 "engine 'mp' needs the 'fork' start method, which this "
                 "host lacks; use 'threaded' or 'sequential'",
             )
-        engine_opts = {"n_workers": workers} if engine != "sequential" else None
+        # Only the worker-pool engines take n_workers; sequential and
+        # corgi are single-threaded by design.
+        engine_opts = (
+            {"n_workers": workers} if engine in ("threaded", "mp") else None
+        )
         if len(self.sessions) >= self.limits.max_sessions:
             self.metrics.rejected_busy += 1
             raise ProtocolError(

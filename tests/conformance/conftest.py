@@ -1,10 +1,13 @@
 """Registries and helpers for the cross-engine conformance suite.
 
 ``ENGINES`` maps an engine name to the ``Interpreter`` keyword options
-that select it — adding a fourth engine to the suite is one more entry
-here, nothing else.  ``PROGRAMS`` maps the six bundled workloads to
+that select it — adding an engine to the suite is one more entry
+here, nothing else.  ``PROGRAMS`` maps the eight bundled workloads to
 small-but-representative sources (every beta node kind, both recursion
-styles, the cube-model generator at two scrambles).
+styles, the cube-model generator at two scrambles, and two adversarial
+fixtures — a cross-product stressor and a deep-chain negation program
+— that hold every engine to byte-identical traces exactly where match
+cost goes pathological).
 
 Sequential runs are the reference: each engine's complete firing trace
 (rendered to one canonical string), final working memory, ``write``
@@ -19,7 +22,15 @@ import pytest
 
 from repro.ops5.interpreter import Interpreter
 from repro.ops5.parser import parse_program
-from repro.programs import blocks, monkey, rubik, tourney, weaver
+from repro.programs import (
+    blocks,
+    crossfire,
+    monkey,
+    negchain,
+    rubik,
+    tourney,
+    weaver,
+)
 
 #: Engine name -> Interpreter(engine=..., engine_opts=...) selections.
 #: A new backend joins the conformance matrix by adding one line.
@@ -37,6 +48,7 @@ ENGINES = {
     "threaded": dict(engine="threaded",
                      engine_opts={"n_workers": 2, "n_queues": 1}),
     "mp": dict(engine="mp", engine_opts={"n_workers": 2}),
+    "corgi": dict(engine="corgi", engine_opts={}),
 }
 
 #: Program name -> OPS5 source factory.  Sizes chosen so the whole
@@ -50,6 +62,8 @@ PROGRAMS = {
     "weaver": lambda: weaver.source(grid=4, n_nets=1),
     "rubik": lambda: rubik.source(n_moves=4, seed=1988),
     "cube": lambda: rubik.source(n_moves=3, seed=7),
+    "crossfire": lambda: crossfire.source(n_items=7),
+    "negchain": lambda: negchain.source(n_chains=5),
 }
 
 MAX_CYCLES = 5000

@@ -99,7 +99,7 @@ class TestFailurePropagation:
 
 class TestEngineFactory:
     def test_engine_names_registry(self):
-        assert ENGINE_NAMES == ("sequential", "threaded", "mp")
+        assert ENGINE_NAMES == ("sequential", "threaded", "mp", "corgi")
 
     def test_unknown_engine_raises(self):
         _program, network = compiled_network(FIND_COLORED_BLOCK)

@@ -27,7 +27,7 @@ class TestRegistryIntegrity:
     def test_smoke_suite_members(self):
         assert set(select("smoke")) == {
             "match-weaver", "sim-weaver", "parallel-weaver", "serve-loadgen",
-            "mp-speedup-weaver",
+            "mp-speedup-weaver", "corgi-adversarial",
         }
 
     def test_full_suite_superset_of_smoke(self):
@@ -48,6 +48,32 @@ class TestRegistryIntegrity:
         scenario = SCENARIOS["match-weaver"]
         assert scenario.spec("match_hash_s").unit == "s"
         assert scenario.spec("nope") is None
+
+
+class TestCorgiAdversarial:
+    def test_stable_token_metrics_and_speedup(self):
+        from repro.perf.scenarios import _ADV_CROSS
+
+        scenario = SCENARIOS["corgi-adversarial"]
+        rep = scenario.run()
+        n = _ADV_CROSS["n_items"]
+        # The stable contract: corgi derives nothing on either shape,
+        # eager Rete pays at least the initial cross-product.
+        assert rep.metrics["cross_corgi_tokens"] == 0.0
+        assert rep.metrics["deep_corgi_tokens"] == 0.0
+        assert rep.metrics["cross_rete_tokens"] >= n * (n - 1) / 2
+        assert rep.metrics["deep_rete_tokens"] > 0.0
+        assert rep.metrics["cross_speedup"] > 1.0
+        assert rep.metrics["deep_speedup"] > 1.0
+        assert rep.network is not None
+
+    def test_token_specs_are_stable_and_speedup_is_headline(self):
+        scenario = SCENARIOS["corgi-adversarial"]
+        for case in ("cross", "deep"):
+            assert scenario.spec(f"{case}_rete_tokens").stable
+            assert scenario.spec(f"{case}_corgi_tokens").stable
+            assert not scenario.spec(f"{case}_speedup").stable
+        assert scenario.spec("cross_speedup").headline
 
 
 class TestSelect:
