@@ -35,11 +35,20 @@ Commands
     Run a program under the :mod:`repro.obs` event bus; write a
     Chrome-trace JSON file (load it at https://ui.perfetto.dev) and
     print the hot-spot profile.  ``--parallel K`` traces the threaded
-    engine's worker timelines (see docs/OBSERVABILITY.md).
+    engine's worker timelines; ``--engine mp`` produces one causally
+    stitched trace across the control process and every match process
+    (see docs/OBSERVABILITY.md).
 
 ``top FILE|BUILTIN``
     Run a program and print one hot-spot table — ``--by
     production|node|lock|phase`` — hottest entries first.
+
+``obs flight|stitch``
+    Flight-recorder and trace-fabric tools: ``flight`` runs a program
+    and dumps the always-on ring of recent engine events as a
+    schema-versioned snapshot; ``stitch`` re-stitches a saved fabric
+    capture (``trace --engine mp --fabric-out``) into a Chrome trace
+    offline.
 
 ``serve``
     Host OPS5 sessions over a line-delimited JSON protocol: many
@@ -101,6 +110,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     engine_opts: dict = {}
     if args.engine in ("threaded", "mp"):
         engine_opts["n_workers"] = args.workers
+        if args.watchdog:
+            engine_opts["watchdog_s"] = args.watchdog
+            engine_opts["watchdog_dump"] = args.watchdog_dump
+    elif args.watchdog:
+        raise SystemExit(
+            "repro run: --watchdog needs --engine threaded or mp"
+        )
     if args.engine == "threaded":
         engine_opts["n_queues"] = args.queues
         engine_opts["lock_scheme"] = args.locks
@@ -112,6 +128,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "repro run: --engine mp needs the 'fork' start method "
                 "(unavailable on this platform); try --engine threaded"
             )
+    if args.flight_dump:
+        from .obs import flight as obs_flight
+
+        obs_flight.set_dump_path(args.flight_dump)
     interp = Interpreter(
         program,
         strategy=args.strategy,
@@ -122,6 +142,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     with closing(interp):
         result = interp.run(max_cycles=args.max_cycles)
+        watchdog = getattr(interp.matcher, "watchdog", None)
+    if watchdog is not None and watchdog.tripped:
+        print(
+            f"repro run: watchdog tripped {watchdog.trips}x "
+            f"(stuck queue: {watchdog.bundles[-1].get('stuck_queue')})",
+            file=sys.stderr,
+        )
     for line in result.output:
         print(line)
     if args.trace:
@@ -259,22 +286,47 @@ def _resolve_program_source(name_or_path: str, verb: str) -> str:
     )
 
 
+def _build_traced_matcher(args: argparse.Namespace, verb: str, network):
+    """The matcher for a traced run: ``--engine`` picks any backend,
+    the older ``--parallel K`` spelling still means threaded."""
+    engine = getattr(args, "engine", "sequential")
+    if args.parallel:
+        engine = "threaded"
+    if engine == "sequential":
+        return None, engine
+    if engine == "mp":
+        from .engines import mp_supported
+
+        if not mp_supported():
+            raise SystemExit(
+                f"repro {verb}: --engine mp needs the 'fork' start "
+                "method (unavailable on this platform)"
+            )
+    from .engines import make_matcher
+
+    opts: dict = {}
+    if engine in ("threaded", "mp"):
+        opts["n_workers"] = args.parallel or args.workers
+    if engine == "threaded":
+        opts["n_queues"] = args.queues
+        opts["lock_scheme"] = args.locks
+    return make_matcher(engine, network, **opts), engine
+
+
 def _traced_run(args: argparse.Namespace, verb: str):
     """Run one program with the event bus on; returns
-    ``(run result, match stats, network, snapshot)``."""
+    ``(run result, match stats, network, snapshot, matcher)``.
+
+    The snapshot is the *control-process* capture; an mp matcher
+    additionally carries worker-shipped telemetry on ``matcher.fabric``
+    (merge with :func:`_profile_snapshot` before building profiles).
+    """
     from .obs import events as obs_events
 
     program = parse_program(_resolve_program_source(args.file, verb))
     network = ReteNetwork.compile(program)
-    if args.parallel:
-        from .parallel.engine import ParallelMatcher
-
-        matcher = ParallelMatcher(
-            network,
-            n_workers=args.parallel,
-            n_queues=args.queues,
-            lock_scheme=args.locks,
-        )
+    matcher, _engine = _build_traced_matcher(args, verb, network)
+    if matcher is not None:
         interp = Interpreter(program, matcher=matcher, network=network)
     else:
         interp = Interpreter(program, network=network)
@@ -287,16 +339,44 @@ def _traced_run(args: argparse.Namespace, verb: str):
         interp.close()
         snap = obs_events.snapshot()
         obs_events.disable()
-    return result, stats, network, snap
+    return result, stats, network, snap, interp.matcher
+
+
+def _profile_snapshot(snap, matcher):
+    """Fold mp worker lanes into the snapshot, when there are any."""
+    fabric_collector = getattr(matcher, "fabric", None)
+    if fabric_collector is None:
+        return snap
+    from .obs import fabric as obs_fabric
+
+    return obs_fabric.merged_snapshot(snap, fabric_collector)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     from .obs import profile as obs_profile
     from .obs.export import write_chrome_trace
 
-    result, stats, network, snap = _traced_run(args, "trace")
-    n_events = write_chrome_trace(args.out, snap)
-    profile = obs_profile.build(snap, network=network)
+    result, stats, network, snap, matcher = _traced_run(args, "trace")
+    fabric_collector = getattr(matcher, "fabric", None)
+    if fabric_collector is not None:
+        # mp: one stitched trace — control pid plus one pid lane per
+        # worker, with dispatch→batch flow arrows.
+        from .obs import fabric as obs_fabric
+
+        doc, orphans = obs_fabric.stitch_trace(snap, fabric_collector)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        n_events = len(doc["traceEvents"])
+        if args.fabric_out:
+            obs_fabric.write_capture(args.fabric_out, snap, fabric_collector)
+            print(f"fabric capture -> {args.fabric_out}")
+        if orphans:
+            print(f"warning: {orphans} stitch orphans", file=sys.stderr)
+    else:
+        n_events = write_chrome_trace(args.out, snap)
+    profile = obs_profile.build(_profile_snapshot(snap, matcher), network=network)
     print(obs_profile.render_text(profile, limit=args.limit))
     agreement = (
         "equal"
@@ -316,8 +396,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_top(args: argparse.Namespace) -> int:
     from .obs import profile as obs_profile
 
-    _result, _stats, network, snap = _traced_run(args, "top")
-    profile = obs_profile.build(snap, network=network)
+    _result, _stats, network, snap, matcher = _traced_run(args, "top")
+    profile = obs_profile.build(_profile_snapshot(snap, matcher), network=network)
     pruned = obs_profile.Profile(
         nodes=profile.nodes if args.by == "node" else [],
         productions=profile.productions if args.by == "production" else [],
@@ -326,6 +406,78 @@ def cmd_top(args: argparse.Namespace) -> int:
         dropped=profile.dropped,
     )
     print(obs_profile.render_text(pruned, limit=args.limit))
+    return 0
+
+
+def cmd_obs_flight(args: argparse.Namespace) -> int:
+    """Run a program (event bus *off* — the flight recorder is always
+    on) and dump the flight-recorder snapshot."""
+    from .obs import flight as obs_flight
+
+    if args.ring:
+        obs_flight.configure(args.ring)
+    else:
+        obs_flight.reset()
+    program = parse_program(_resolve_program_source(args.file, "obs flight"))
+    network = ReteNetwork.compile(program)
+    matcher, engine = _build_traced_matcher(args, "obs flight", network)
+    if matcher is not None:
+        interp = Interpreter(program, matcher=matcher, network=network)
+    else:
+        interp = Interpreter(program, network=network)
+    with closing(interp):
+        result = interp.run(max_cycles=args.max_cycles)
+        # mp workers' tails arrive piggybacked on flush replies even
+        # with the bus off.
+        fabric_collector = getattr(interp.matcher, "fabric", None)
+        workers = (
+            fabric_collector.flight_tails() if fabric_collector is not None else None
+        )
+    doc = obs_flight.write_snapshot(args.out, "cli", workers=workers)
+    problems = obs_flight.validate_flight(doc)
+    print(
+        f"run: engine={engine} cycles={result.cycles} halted={result.halted}"
+    )
+    print(
+        f"flight: {len(doc['events'])} events "
+        f"(ring {doc['ring_capacity']}, {doc['recorded_total']} recorded, "
+        f"{len(doc.get('workers') or {})} worker tails) -> {args.out}"
+    )
+    for problem in problems:
+        print(f"invalid snapshot: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def cmd_obs_stitch(args: argparse.Namespace) -> int:
+    """Re-stitch a saved fabric capture into a Chrome trace offline."""
+    import json
+
+    from .obs import fabric as obs_fabric
+    from .obs.export import validate_chrome_trace
+
+    try:
+        with open(args.capture, "r", encoding="utf-8") as fh:
+            capture = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro obs stitch: cannot read {args.capture}: {exc}")
+    try:
+        snap, collector = obs_fabric.load_capture(capture)
+    except ValueError as exc:
+        raise SystemExit(f"repro obs stitch: {exc}")
+    doc, orphans = obs_fabric.stitch_trace(snap, collector)
+    problems = validate_chrome_trace(doc)
+    for problem in problems:
+        print(f"invalid trace: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    pids = sorted({e["pid"] for e in doc["traceEvents"]})
+    print(
+        f"stitched: {len(doc['traceEvents'])} events across "
+        f"{len(pids)} pids ({len(collector.lanes)} worker lanes, "
+        f"{orphans} orphans) -> {args.out}"
+    )
     return 0
 
 
@@ -504,6 +656,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-cycles", type=int, default=100000)
     p_run.add_argument("--stats", action="store_true")
     p_run.add_argument("--trace", action="store_true")
+    p_run.add_argument("--watchdog", type=float, default=0.0, metavar="S",
+                       help="stall watchdog for threaded/mp: trip after S "
+                            "seconds of pending work with no progress")
+    p_run.add_argument("--watchdog-dump", metavar="FILE",
+                       help="write the watchdog diagnostic bundle here on trip")
+    p_run.add_argument("--flight-dump", metavar="FILE",
+                       help="write a flight-recorder snapshot here on "
+                            "unhandled engine error")
     p_run.set_defaults(func=cmd_run)
 
     p_net = sub.add_parser("network", help="dump the compiled Rete network")
@@ -552,16 +712,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fuzz N consecutive seeds")
     p_cck.set_defaults(func=cmd_corgick)
 
-    def _engine_flags(p: argparse.ArgumentParser) -> None:
+    def _engine_flags(p: argparse.ArgumentParser, obs_flags: bool = True) -> None:
+        p.add_argument("--engine", choices=list(ENGINE_NAMES),
+                       default="sequential",
+                       help="match backend (mp produces a stitched "
+                            "multi-process trace)")
+        p.add_argument("--workers", type=int, default=2,
+                       help="match workers for --engine threaded/mp")
         p.add_argument("--parallel", type=int, default=0, metavar="K",
-                       help="use the threaded parallel matcher with K workers")
+                       help="shorthand for --engine threaded --workers K")
         p.add_argument("--queues", type=int, default=1)
         p.add_argument("--locks", choices=["simple", "mrsw"], default="simple")
         p.add_argument("--max-cycles", type=int, default=100000)
-        p.add_argument("--max-events", type=int, default=200_000,
-                       help="per-worker span buffer cap")
-        p.add_argument("--limit", type=int, default=15,
-                       help="rows per hot-spot table")
+        if obs_flags:
+            p.add_argument("--max-events", type=int, default=200_000,
+                           help="per-worker span buffer cap")
+            p.add_argument("--limit", type=int, default=15,
+                           help="rows per hot-spot table")
 
     p_trc = sub.add_parser(
         "trace",
@@ -573,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "crossfire | negchain")
     p_trc.add_argument("--out", default="trace.json",
                        help="Chrome-trace JSON output path (Perfetto-loadable)")
+    p_trc.add_argument("--fabric-out", metavar="FILE",
+                       help="with --engine mp: also write the raw fabric "
+                            "capture (re-stitch with `repro obs stitch`)")
     _engine_flags(p_trc)
     p_trc.set_defaults(func=cmd_trace)
 
@@ -587,6 +757,37 @@ def build_parser() -> argparse.ArgumentParser:
                        default="production")
     _engine_flags(p_top)
     p_top.set_defaults(func=cmd_top)
+
+    p_obs = sub.add_parser(
+        "obs", help="flight recorder and trace-fabric tools"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_flight = obs_sub.add_parser(
+        "flight",
+        help="run a program and dump the always-on flight-recorder ring",
+    )
+    o_flight.add_argument("file",
+                          help="program file, or builtin: "
+                               "blocks | monkey | tourney | rubik | weaver | "
+                               "crossfire | negchain")
+    o_flight.add_argument("--out", default="flight.json",
+                          help="flight snapshot output path")
+    o_flight.add_argument("--ring", type=int, default=0, metavar="N",
+                          help="resize the flight ring to N events first")
+    _engine_flags(o_flight, obs_flags=False)
+    o_flight.set_defaults(func=cmd_obs_flight)
+
+    o_stitch = obs_sub.add_parser(
+        "stitch",
+        help="re-stitch a saved fabric capture into a Chrome trace",
+    )
+    o_stitch.add_argument("capture",
+                          help="fabric capture file "
+                               "(`repro trace --engine mp --fabric-out`)")
+    o_stitch.add_argument("--out", default="stitched.json",
+                          help="Chrome-trace JSON output path")
+    o_stitch.set_defaults(func=cmd_obs_stitch)
 
     p_srv = sub.add_parser(
         "serve", help="host OPS5 sessions over a line-JSON protocol"

@@ -44,6 +44,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import events as _obs
+from ..obs import flight as _flight
 from ..ops5.wme import WME, WMEChange
 from ..rete.network import ReteNetwork
 from ..rete.nodes import CSDelta
@@ -130,6 +131,7 @@ class CorgiMatcher:
     def process_changes(self, changes: List[WMEChange]) -> List[CSDelta]:
         """Process a batch of changes in order (one RHS's output)."""
         start = perf_counter()
+        _flight.record("corgi", "batch", {"changes": len(changes)})
         deltas: List[CSDelta] = []
         for change in changes:
             deltas.extend(self.process_change(change))

@@ -16,12 +16,14 @@ Engines:
     :class:`~repro.parallel.engine.ParallelMatcher` — thread-per-worker
     with per-line locks.  Demonstrates the paper's synchronization
     design under real interleavings but no speedup under the GIL.
-    Options: ``n_workers``, ``n_queues``, ``lock_scheme``, ``n_lines``.
+    Options: ``n_workers``, ``n_queues``, ``lock_scheme``, ``n_lines``,
+    ``watchdog_s``/``watchdog_dump`` (stall watchdog).
 
 ``mp``
     :class:`~repro.parallel.mp.engine.ProcessMatcher` —
     process-per-worker with shard-routed lines; the backend that can
-    actually use multiple CPUs.  Options: ``n_workers``, ``n_lines``.
+    actually use multiple CPUs.  Options: ``n_workers``, ``n_lines``,
+    ``watchdog_s``/``watchdog_dump`` (stall watchdog).
     Requires the ``fork`` start method (see :func:`mp_supported`).
 
 ``corgi``
@@ -60,6 +62,8 @@ def make_matcher(
     n_queues: Optional[int] = None,
     lock_scheme: str = "simple",
     recorder=None,
+    watchdog_s: Optional[float] = None,
+    watchdog_dump: Optional[str] = None,
 ):
     """Build the named match backend over a compiled ``network``.
 
@@ -81,11 +85,19 @@ def make_matcher(
             n_queues=n_queues if n_queues is not None else 1,
             lock_scheme=lock_scheme,
             n_lines=n_lines,
+            watchdog_s=watchdog_s,
+            watchdog_dump=watchdog_dump,
         )
     if engine == "mp":
         from .parallel.mp import ProcessMatcher
 
-        return ProcessMatcher(network, n_workers=n_workers, n_lines=n_lines)
+        return ProcessMatcher(
+            network,
+            n_workers=n_workers,
+            n_lines=n_lines,
+            watchdog_s=watchdog_s,
+            watchdog_dump=watchdog_dump,
+        )
     if engine == "corgi":
         from .corgi.engine import CorgiMatcher
 

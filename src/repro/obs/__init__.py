@@ -11,6 +11,19 @@ same structured event bus (:mod:`repro.obs.events`), which feeds
   ``chrome://tracing``/Perfetto, and a Prometheus-style text
   exposition of the service counters.
 
+Around the opt-in bus sit three always-available diagnostics:
+
+* the flight recorder (:mod:`repro.obs.flight`) — a fixed-size
+  always-on ring of recent engine events, dumped as a schema-versioned
+  snapshot on demand, on unhandled engine error, or on watchdog trip;
+* the trace fabric (:mod:`repro.obs.fabric`) — worker-side spans and
+  node profiles from the mp backend's forked match processes, shipped
+  over the existing pipes and causally stitched into one multi-process
+  Chrome trace;
+* the stall watchdog (:mod:`repro.obs.watchdog`) — no-progress
+  detection for the parallel engines, emitting a self-describing
+  diagnostic bundle (queue depths, lock holders, flight tails).
+
 The paper's contribution is *measured* — nine tables of timings and
 contention counts — and this package is the runtime evidence chain for
 our own measurements: every instrumentation point is guarded by a

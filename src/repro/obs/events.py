@@ -72,6 +72,10 @@ _reg_lock = threading.Lock()
 _registry: List[_WorkerBuffer] = []
 _epoch = 0
 _max_events = DEFAULT_MAX_EVENTS
+#: Drops carried over from retired buffers (cleared registries, dead
+#: epochs) so :func:`dropped_total` stays monotonic — a Prometheus
+#: counter must never shrink just because a capture was reset.
+_retired_dropped = 0
 
 
 def _buffer() -> _WorkerBuffer:
@@ -105,20 +109,33 @@ def enabled() -> bool:
     return ENABLED
 
 
+def current_max_events() -> int:
+    """The per-worker span cap in force (what :func:`enable` last set)."""
+    return _max_events
+
+
 def dropped_total() -> int:
-    """Spans dropped to the per-worker buffer caps, summed across live
-    buffers — cheaper than :func:`snapshot` (no span copying), suited
-    to hot exposition paths like ``serve stats``."""
+    """Spans ever dropped to the per-worker buffer caps: live buffers
+    plus drops retained from retired ones, so the value is monotonic
+    over a process lifetime (it backs the Prometheus
+    ``repro_obs_dropped_events_total`` counter, which must never go
+    backwards across capture resets).  Cheaper than :func:`snapshot`
+    (no span copying), suited to hot exposition paths like
+    ``serve stats``.  Per-capture drop counts live on
+    :attr:`ObsSnapshot.dropped` instead."""
     with _reg_lock:
-        return sum(buf.dropped for buf in _registry)
+        return _retired_dropped + sum(buf.dropped for buf in _registry)
 
 
 def reset() -> None:
     """Drop all recorded data.  Threads re-register lazily (their cached
-    buffers carry a stale epoch and are abandoned on next use)."""
-    global _epoch
+    buffers carry a stale epoch and are abandoned on next use).  Drop
+    counts from the retiring buffers are folded into the monotonic
+    :func:`dropped_total` before the registry clears."""
+    global _epoch, _retired_dropped
     with _reg_lock:
         _epoch += 1
+        _retired_dropped += sum(buf.dropped for buf in _registry)
         _registry.clear()
 
 

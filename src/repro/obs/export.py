@@ -24,6 +24,14 @@ from .events import ObsSnapshot
 #: Required keys of a complete ("X") trace event.
 _X_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
 
+#: Required keys of a flow ("s"/"f") event — the fabric's
+#: dispatch→worker arrows (see :mod:`repro.obs.fabric`).
+_FLOW_KEYS = ("name", "cat", "ph", "id", "ts", "pid", "tid")
+
+#: Metadata event names we emit: per-thread labels everywhere, and
+#: per-process labels in stitched multi-process traces.
+_META_NAMES = ("thread_name", "process_name")
+
 
 def chrome_trace(snap: ObsSnapshot) -> Dict[str, Any]:
     """The snapshot as a Trace Event Format document (JSON object form)."""
@@ -85,8 +93,21 @@ def validate_chrome_trace(doc: Any) -> List[str]:
             continue
         ph = event.get("ph")
         if ph == "M":
-            if event.get("name") != "thread_name":
+            if event.get("name") not in _META_NAMES:
                 problems.append(f"event {i}: unexpected metadata event")
+            continue
+        if ph in ("s", "f"):
+            for key in _FLOW_KEYS:
+                if key not in event:
+                    problems.append(f"event {i}: missing {key!r}")
+            value = event.get("ts")
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"event {i}: ts must be a non-negative number")
+            if ph == "f" and event.get("bp") != "e":
+                # Without binding-point "e" Perfetto attaches the arrow
+                # to the *next* slice after ts, detaching it from the
+                # worker batch span it belongs to.
+                problems.append(f"event {i}: flow finish must carry bp='e'")
             continue
         if ph != "X":
             problems.append(f"event {i}: unknown phase {ph!r}")

@@ -1,0 +1,215 @@
+"""The flight recorder: an always-on black box of recent engine events.
+
+The structured event bus (:mod:`repro.obs.events`) is opt-in and
+unbounded-in-detail — great for a deliberate capture, useless for the
+crash you did not predict.  The flight recorder is the complement: a
+**fixed-size ring** of coarse, recent events (batch boundaries, worker
+lifecycle, watchdog trips, errors) that every engine feeds
+unconditionally, because one ``perf_counter_ns`` call plus one
+``deque.append`` per *batch* (never per token or per task) is cheap
+enough to leave enabled in production.
+
+The ring is per *process* — forked mp workers inherit a copy and then
+diverge; their tails travel back to the control process over the
+fabric (:mod:`repro.obs.fabric`) piggybacked on flush replies, so a
+dead worker's last moments survive it.
+
+Snapshots are schema-versioned JSON (:data:`FLIGHT_SCHEMA`) and are
+produced three ways:
+
+* on demand — ``repro obs flight`` and the serve ``dump`` verb;
+* on unhandled engine error — when a dump path is configured
+  (:func:`set_dump_path` or ``REPRO_FLIGHT_DUMP``), the interpreter
+  writes the snapshot before re-raising;
+* on watchdog trip — the stall bundle embeds the ring tail
+  (:mod:`repro.obs.watchdog`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from time import perf_counter_ns, time
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Schema identifier stamped into every snapshot; bump on breaking
+#: changes to the snapshot layout.
+FLIGHT_SCHEMA = "repro.flight/1"
+
+#: Default ring capacity — sized so a stuck engine still shows several
+#: complete recognize-act cycles of context, while the ring itself
+#: stays a few tens of KB.
+DEFAULT_RING_SIZE = 256
+
+#: Environment variable naming where to dump a snapshot on unhandled
+#: engine error (see :func:`dump_on_error`).
+DUMP_ENV = "REPRO_FLIGHT_DUMP"
+
+_EVENT = Tuple[int, str, str, Optional[dict]]
+
+_ring: Deque[_EVENT] = deque(maxlen=DEFAULT_RING_SIZE)
+_recorded_total = 0
+_dump_path: Optional[str] = None
+# Serializes snapshot/configure against concurrent recorders; record()
+# itself stays lock-free (deque.append is atomic under the GIL).
+_snap_lock = threading.Lock()
+
+
+def configure(capacity: int = DEFAULT_RING_SIZE) -> None:
+    """Resize the ring (drops current contents)."""
+    global _ring, _recorded_total
+    if capacity < 1:
+        raise ValueError("flight ring capacity must be >= 1")
+    with _snap_lock:
+        _ring = deque(maxlen=capacity)
+        _recorded_total = 0
+
+
+def reset() -> None:
+    """Empty the ring without changing its capacity."""
+    global _recorded_total
+    with _snap_lock:
+        _ring.clear()
+        _recorded_total = 0
+
+
+def record(engine: str, event: str, detail: Optional[dict] = None) -> None:
+    """Append one event.  Always on; callers must keep this at batch /
+    lifecycle granularity (never per token) so the cost stays one
+    clock read and one bounded append."""
+    global _recorded_total
+    _recorded_total += 1
+    _ring.append((perf_counter_ns(), engine, event, detail))
+
+
+def tail(n: Optional[int] = None) -> List[Dict[str, Any]]:
+    """The most recent ``n`` events (all, if None), oldest first,
+    JSON-ready."""
+    with _snap_lock:
+        events = list(_ring)
+    if n is not None and n >= 0:
+        events = events[-n:]
+    return [
+        {"t_ns": t, "engine": engine, "event": event, "detail": detail}
+        for t, engine, event, detail in events
+    ]
+
+
+def snapshot(reason: str, workers: Optional[Dict[str, List[dict]]] = None) -> Dict[str, Any]:
+    """The ring as a schema-versioned JSON document.
+
+    ``workers`` optionally attaches remote tails — e.g. the last-known
+    flight events each mp worker shipped over the fabric — keyed by a
+    display name.
+    """
+    doc: Dict[str, Any] = {
+        "schema": FLIGHT_SCHEMA,
+        "reason": reason,
+        "pid": os.getpid(),
+        "process": "control",
+        "captured_unix": time(),
+        "ring_capacity": _ring.maxlen,
+        "recorded_total": _recorded_total,
+        "events": tail(),
+    }
+    if workers:
+        doc["workers"] = {
+            name: list(events) for name, events in sorted(workers.items())
+        }
+    return doc
+
+
+def write_snapshot(
+    path: str, reason: str, workers: Optional[Dict[str, List[dict]]] = None
+) -> Dict[str, Any]:
+    """Serialize :func:`snapshot` to ``path``; returns the document."""
+    doc = snapshot(reason, workers=workers)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+# -- crash dumps -------------------------------------------------------------
+
+
+def set_dump_path(path: Optional[str]) -> None:
+    """Configure (or clear, with None) the on-error dump destination.
+    The ``REPRO_FLIGHT_DUMP`` environment variable is the fallback when
+    no explicit path is set."""
+    global _dump_path
+    _dump_path = path
+
+
+def dump_path() -> Optional[str]:
+    return _dump_path or os.environ.get(DUMP_ENV) or None
+
+
+def dump_on_error(reason: str) -> Optional[str]:
+    """Write a snapshot to the configured dump path, if any.
+
+    Returns the path written, or None when no path is configured.
+    Never raises: this runs on the unhandled-error path, where a
+    secondary failure must not mask the original exception.
+    """
+    path = dump_path()
+    if not path:
+        return None
+    try:
+        write_snapshot(path, reason)
+    except OSError:  # pragma: no cover - disk full / bad path
+        return None
+    return path
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def _check_events(events: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(events, list):
+        problems.append(f"{where} is not an array")
+        return
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"{where}[{i}]: not an object")
+            continue
+        for key, types in (("t_ns", (int,)), ("engine", (str,)), ("event", (str,))):
+            if not isinstance(event.get(key), types):
+                problems.append(f"{where}[{i}]: bad {key!r}")
+        detail = event.get("detail")
+        if detail is not None and not isinstance(detail, dict):
+            problems.append(f"{where}[{i}]: detail must be an object or null")
+
+
+def validate_flight(doc: Any) -> List[str]:
+    """Schema-check a flight snapshot; returns human-readable problems
+    (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {FLIGHT_SCHEMA!r}"
+        )
+    for key, types in (
+        ("reason", (str,)),
+        ("pid", (int,)),
+        ("ring_capacity", (int,)),
+        ("recorded_total", (int,)),
+        ("captured_unix", (int, float)),
+    ):
+        if not isinstance(doc.get(key), types):
+            problems.append(f"missing or bad {key!r}")
+    _check_events(doc.get("events"), "events", problems)
+    workers = doc.get("workers")
+    if workers is not None:
+        if not isinstance(workers, dict):
+            problems.append("workers is not an object")
+        else:
+            for name, events in workers.items():
+                _check_events(events, f"workers[{name}]", problems)
+    return problems

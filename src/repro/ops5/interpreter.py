@@ -28,6 +28,7 @@ from .parser import parse_program
 from .rhs import CompiledRHS
 from .wme import WME, WMEChange, WorkingMemory
 from ..obs import events as _obs
+from ..obs import flight as _flight
 from ..rete.matcher import SequentialMatcher
 from ..rete.network import ReteNetwork
 from ..rete.token import EMPTY
@@ -275,15 +276,27 @@ class Interpreter:
         self._apply_changes(env.changes)
 
     def _apply_changes(self, changes: List[WMEChange]) -> int:
-        if _obs.ENABLED:
-            t0 = _obs.now()
-            deltas = self.matcher.process_changes(changes)
-            _obs.span(
-                "phase", "match", t0, _obs.now(),
-                args={"cycle": self.cycle, "changes": len(changes)},
+        try:
+            if _obs.ENABLED:
+                t0 = _obs.now()
+                deltas = self.matcher.process_changes(changes)
+                _obs.span(
+                    "phase", "match", t0, _obs.now(),
+                    args={"cycle": self.cycle, "changes": len(changes)},
+                )
+            else:
+                deltas = self.matcher.process_changes(changes)
+        except Exception as exc:
+            # The black box survives the crash: note the failure in the
+            # flight ring and dump it (no-op unless a dump path is
+            # configured), then let the original exception propagate.
+            _flight.record(
+                "interpreter", "match_error",
+                {"cycle": self.cycle, "changes": len(changes),
+                 "error": repr(exc)},
             )
-        else:
-            deltas = self.matcher.process_changes(changes)
+            _flight.dump_on_error("match_error")
+            raise
         for delta in deltas:
             self.conflict_set.apply(delta.production, delta.token, delta.sign)
         if not getattr(self.matcher, "strict_cs", True):
@@ -331,6 +344,10 @@ class Interpreter:
         self.conflict_set.mark_fired(inst)  # refraction
         self.cycle += 1
         production = inst.production
+        _flight.record(
+            "interpreter", "fire",
+            {"cycle": self.cycle, "production": production.name},
+        )
         if self.recorder is not None:
             self.recorder.begin_cycle(production.name, len(production.actions))
         if obs_on:

@@ -34,6 +34,8 @@ from time import perf_counter
 from typing import List, Optional
 
 from ..obs import events as _obs
+from ..obs import flight as _flight
+from ..obs.watchdog import ProbeSample, StallWatchdog
 from ..ops5.wme import WMEChange
 from ..rete.matcher import SequentialMatcher
 from ..rete.memories import HashMemorySystem
@@ -43,7 +45,7 @@ from ..rete.stats import MatchStats
 from ..rete.token import Token
 from .conjugate import ConjugateMemory
 from .hooks import thread_exit, yield_point
-from .locks import LockStats, make_line_locks
+from .locks import LockStats, make_line_locks, set_holder_tracking
 from .taskqueue import TaskCount, TaskQueueSet
 
 _POISON = ("poison",)
@@ -68,6 +70,8 @@ class ParallelMatcher:
         n_queues: int = 1,
         lock_scheme: str = "simple",
         n_lines: int = 256,
+        watchdog_s: Optional[float] = None,
+        watchdog_dump: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one match process")
@@ -87,12 +91,30 @@ class ParallelMatcher:
         #: ``SequentialMatcher.match_seconds`` so ``--stats`` and the
         #: perf scenarios read every engine the same way.
         self.match_seconds = 0.0
+        #: Cumulative tasks fully processed across all workers — the
+        #: watchdog's progress signal.  A plain int bumped under the
+        #: GIL: lost updates are possible and harmless (it only needs
+        #: to *advance* while real work happens).
+        self.tasks_done = 0
         self._threads = [
             threading.Thread(target=self._worker, args=(i,), daemon=True, name=f"match-{i}")
             for i in range(n_workers)
         ]
         for t in self._threads:
             t.start()
+        self.watchdog: Optional[StallWatchdog] = None
+        self._holder_tracking = False
+        if watchdog_s:
+            # Holder names in the stall bundle cost one current_thread()
+            # per acquire; pay it only when someone is watching.
+            set_holder_tracking(True)
+            self._holder_tracking = True
+            self.watchdog = StallWatchdog(
+                self._watchdog_probe,
+                engine="threaded",
+                stall_after_s=watchdog_s,
+                dump_path=watchdog_dump,
+            ).start()
 
     # -- control-process side -------------------------------------------------
 
@@ -101,6 +123,7 @@ class ParallelMatcher:
         if self._shutdown:
             raise RuntimeError("matcher already closed")
         match_t0 = perf_counter()
+        _flight.record("threaded", "batch", {"changes": len(changes)})
         obs_on = _obs.ENABLED
         if obs_on:
             batch_t0 = _obs.now()
@@ -134,6 +157,10 @@ class ParallelMatcher:
             )
         if self._failures:
             failure = self._failures[0]
+            _flight.record(
+                "threaded", "worker_failure", {"error": repr(failure)}
+            )
+            _flight.dump_on_error("worker_failure")
             self.close()
             raise RuntimeError("match process failed") from failure
         deltas: List[CSDelta] = []
@@ -152,6 +179,10 @@ class ParallelMatcher:
         if self._shutdown:
             return
         self._shutdown = True
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        if self._holder_tracking:
+            set_holder_tracking(False)
         for _ in self._threads:
             self.queues.push(_POISON, home=self._next_home())
         for t in self._threads:
@@ -166,6 +197,33 @@ class ParallelMatcher:
     def _next_home(self) -> int:
         self._push_seq += 1
         return self._push_seq
+
+    def _watchdog_probe(self) -> ProbeSample:
+        """Cheap point-in-time progress reading for the stall watchdog
+        (racy reads throughout — precision is not the point)."""
+        queues = [
+            (f"queue[{i}]", depth)
+            for i, depth in enumerate(self.queues.depths())
+        ]
+        # TaskCount is queued + in-flight work: it keeps `pending`
+        # nonzero during a livelock whose tasks are mid-requeue (the
+        # queues themselves can look momentarily empty).
+        queues.append(("taskcount", self.taskcount.value))
+        holders = dict(self.queues.holders())
+        tc_holder = self.taskcount.holder
+        if tc_holder is not None:
+            holders["taskcount"] = tc_holder
+        holders.update(self.line_locks.holders())
+        return ProbeSample(
+            tasks_done=self.tasks_done,
+            queues=queues,
+            lock_holders=holders,
+            extra={
+                "workers_alive": sum(t.is_alive() for t in self._threads),
+                "n_workers": self.n_workers,
+                "failures": len(self._failures),
+            },
+        )
 
     # -- aggregated measurements ----------------------------------------------
 
@@ -222,6 +280,7 @@ class ParallelMatcher:
                 else:
                     self._do_activation(ctx, wid, task)
                 self.taskcount.decrement()
+                self.tasks_done += 1
         except BaseException as exc:  # noqa: BLE001 - reported to control
             self._failures.append(exc)
         finally:

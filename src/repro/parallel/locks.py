@@ -35,6 +35,18 @@ RIGHT_IN_USE = 2
 
 _SIDE_STATE = {"L": LEFT_IN_USE, "R": RIGHT_IN_USE}
 
+#: When a stall watchdog is attached (see
+#: :class:`repro.obs.watchdog.StallWatchdog`), spin locks record the
+#: holding thread's name so the diagnostic bundle can print a
+#: lock-holder table.  Off by default: ``current_thread()`` on every
+#: acquire is measurable on the hottest path in the tree.
+HOLDER_TRACKING = False
+
+
+def set_holder_tracking(on: bool) -> None:
+    global HOLDER_TRACKING
+    HOLDER_TRACKING = on
+
 
 @dataclass
 class LockStats:
@@ -83,13 +95,15 @@ class SpinLock:
     """
 
     __slots__ = ("_lock", "_busy", "stats", "label", "_t_acq", "_wait_ns",
-                 "_contended_acq")
+                 "_contended_acq", "holder")
 
     def __init__(self, label: str = "lock") -> None:
         self._lock = threading.Lock()
         self._busy = False
         self.stats = LockStats()
         self.label = label
+        #: Holding thread's name while HOLDER_TRACKING is on, else None.
+        self.holder: Optional[str] = None
         # Observability state for the acquisition in flight; _t_acq is
         # 0 whenever obs was disabled at acquire time, making the
         # release-path check a single attribute read.
@@ -116,6 +130,8 @@ class SpinLock:
             # "test-and-set": the interlocked attempt.
             if self._lock.acquire(False):
                 self._busy = True
+                if HOLDER_TRACKING:
+                    self.holder = threading.current_thread().name
                 stats = self.stats
                 stats.acquisitions += 1
                 stats.spins += spins
@@ -139,6 +155,8 @@ class SpinLock:
                 self._contended_acq,
             )
             self._t_acq = 0
+        if self.holder is not None:
+            self.holder = None
         self._busy = False
         self._lock.release()
         yield_point("lock_release", self)
@@ -183,6 +201,14 @@ class SimpleLineLocks:
 
     def stats_per_line(self) -> List[LockStats]:
         return [lock.stats for lock in self._locks]
+
+    def holders(self) -> Dict[str, str]:
+        """Currently-held line locks (empty unless HOLDER_TRACKING)."""
+        return {
+            f"line[{i}]": lock.holder
+            for i, lock in enumerate(self._locks)
+            if lock.holder is not None
+        }
 
 
 class MRSWLineLocks:
@@ -249,6 +275,16 @@ class MRSWLineLocks:
             merged.merge(mod.stats)
             out.append(merged)
         return out
+
+    def holders(self) -> Dict[str, str]:
+        """Currently-held guard/mod locks (empty unless HOLDER_TRACKING)."""
+        held = {}
+        for i, (guard, mod) in enumerate(zip(self._guards, self._mods)):
+            if guard.holder is not None:
+                held[f"line_guard[{i}]"] = guard.holder
+            if mod.holder is not None:
+                held[f"line_mod[{i}]"] = mod.holder
+        return held
 
 
 def make_line_locks(scheme: str, n_lines: int):

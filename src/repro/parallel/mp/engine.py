@@ -39,6 +39,9 @@ from time import perf_counter
 from typing import Dict, List, Optional
 
 from ...obs import events as _obs
+from ...obs import fabric as _fabric
+from ...obs import flight as _flight
+from ...obs.watchdog import ProbeSample, StallWatchdog
 from ...ops5.wme import WMEChange
 from ...rete.network import ReteNetwork
 from ...rete.nodes import CSDelta
@@ -77,6 +80,8 @@ class ProcessMatcher:
         network: ReteNetwork,
         n_workers: int = 2,
         n_lines: int = 1024,
+        watchdog_s: Optional[float] = None,
+        watchdog_dump: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one match process")
@@ -102,11 +107,20 @@ class ProcessMatcher:
         #: worker; replaced, not summed, on every flush).
         self._worker_stats: Dict[int, MatchStats] = {}
         self._ipc_totals: Dict[str, int] = {}
+        #: Worker-shipped observability (spans, node profiles, flight
+        #: tails), accumulated per worker lane by the trace fabric.
+        self.fabric = _fabric.FabricCollector()
+        #: Whether the workers currently mirror the control process's
+        #: obs flag (synced lazily at each batch boundary).
+        self._workers_obs = False
+        #: Shared cumulative drained-task counter — the watchdog's
+        #: cross-process progress signal.
+        self._tasks_done = ctx.Value("q", 0)
         self._procs = [
             ctx.Process(
                 target=run_worker,
                 args=(wid, network, self.shard, self._inboxes,
-                      self._results, self._taskcount),
+                      self._results, self._taskcount, self._tasks_done),
                 daemon=True,
                 name=f"match-{wid}",
             )
@@ -114,6 +128,15 @@ class ProcessMatcher:
         ]
         for proc in self._procs:
             proc.start()
+        self.watchdog: Optional[StallWatchdog] = None
+        if watchdog_s:
+            self.watchdog = StallWatchdog(
+                self._watchdog_probe,
+                engine="mp",
+                stall_after_s=watchdog_s,
+                dump_path=watchdog_dump,
+                worker_tails=self.fabric.flight_tails,
+            ).start()
 
     # -- control-process side -----------------------------------------------
 
@@ -123,9 +146,18 @@ class ProcessMatcher:
             raise RuntimeError("matcher already closed")
         started = perf_counter()
         obs_on = _obs.ENABLED
+        if obs_on != self._workers_obs:
+            # Safe to interleave: workers are idle on inbox.get()
+            # between batches, so the obs message cannot land mid-drain.
+            cap = _obs.current_max_events()
+            for inbox in self._inboxes:
+                inbox.put(("obs", obs_on, cap))
+            self._workers_obs = obs_on
         if obs_on:
             t0 = _obs.now()
         self._seq += 1
+        _flight.record("mp", "dispatch",
+                       {"seq": self._seq, "changes": len(changes)})
         payload = [(c.sign, c.wme) for c in changes]
         with self._taskcount.get_lock():
             self._taskcount.value += self.n_workers
@@ -133,8 +165,10 @@ class ProcessMatcher:
             inbox.put(("changes", self._seq, payload))
         if obs_on:
             t1 = _obs.now()
+            # "seq" is the stitch key pairing this span with the worker
+            # batch spans it triggered (repro.obs.fabric).
             _obs.span("mp", "dispatch", t0, t1,
-                      args={"changes": len(changes)})
+                      args={"changes": len(changes), "seq": self._seq})
             _obs.count("mp.batches")
             _obs.count("mp.changes", len(changes))
         self._wait_quiescent()
@@ -157,12 +191,32 @@ class ProcessMatcher:
                     self._raise_worker_failure(proc)
             time.sleep(_WAIT_S)
 
+    @staticmethod
+    def _format_error(msg) -> str:
+        """Traceback text plus the dead worker's flight-recorder tail
+        (its last recorded moments survive the process)."""
+        detail = msg[2]
+        tail = msg[3] if len(msg) > 3 else None
+        if tail:
+            lines = [
+                f"  {event['engine']}.{event['event']} {event['detail'] or {}}"
+                for event in tail
+            ]
+            detail += (
+                f"\nworker flight recorder (last {len(tail)} events):\n"
+                + "\n".join(lines)
+            )
+        return detail
+
     def _raise_worker_failure(self, proc) -> None:
         detail = ""
         while not self._results.empty():
             msg = self._results.get()
             if msg[0] == "error":
-                detail = f"\n{msg[2]}"
+                detail = f"\n{self._format_error(msg)}"
+        _flight.record("mp", "worker_death",
+                       {"proc": proc.name, "exitcode": proc.exitcode})
+        _flight.dump_on_error("worker_death")
         self.close()
         raise RuntimeError(
             f"match process {proc.name} died (exit {proc.exitcode}){detail}"
@@ -178,14 +232,20 @@ class ProcessMatcher:
         while seen < self.n_workers:
             msg = self._results.get()
             if msg[0] == "error":
+                _flight.record("mp", "worker_error", {"wid": msg[1]})
+                _flight.dump_on_error("worker_error")
                 self.close()
-                raise RuntimeError(f"match process failed\n{msg[2]}")
-            _kind, wid, seq, payload, stats, counters, pending = msg
+                raise RuntimeError(
+                    f"match process failed\n{self._format_error(msg)}"
+                )
+            _kind, wid, seq, payload, stats, counters, pending, ship = msg
             if seq != self._seq:
                 # A reply from an interrupted earlier batch; ignore.
                 continue
             seen += 1
             pending_total += pending
+            if ship is not None:
+                self.fabric.absorb(wid, ship)
             self._worker_stats[wid] = stats
             for name, n in counters.items():
                 self._ipc_totals[name] = self._ipc_totals.get(name, 0) + n
@@ -202,11 +262,39 @@ class ProcessMatcher:
             )
         return deltas
 
+    def _watchdog_probe(self) -> ProbeSample:
+        """Cross-process stall probe: the shared TaskCount is the
+        pending-work gauge (OS pipes expose no depth), the shared
+        drained-task counter the progress signal."""
+        alive = {
+            proc.name: "alive" if proc.exitcode is None else f"exit {proc.exitcode}"
+            for proc in self._procs
+        }
+        return ProbeSample(
+            tasks_done=self._tasks_done.value,
+            queues=[("taskcount", self._taskcount.value)],
+            lock_holders={},
+            extra={"workers": alive, "seq": self._seq},
+        )
+
+    # -- observability surfaces ----------------------------------------------
+
+    def obs_merged_snapshot(self):
+        """Control snapshot with every worker lane folded in (profiles
+        built from this see the workers' match work)."""
+        return _fabric.merged_snapshot(_obs.snapshot(), self.fabric)
+
+    def obs_stitched_trace(self):
+        """``(chrome_doc, stitch_orphans)`` across all processes."""
+        return _fabric.stitch_trace(_obs.snapshot(), self.fabric)
+
     def close(self) -> None:
         """Kill the match processes (the control process's duty)."""
         if self._shutdown:
             return
         self._shutdown = True
+        if self.watchdog is not None:
+            self.watchdog.stop()
         for inbox, proc in zip(self._inboxes, self._procs):
             if proc.exitcode is None:
                 try:

@@ -22,8 +22,15 @@ Message protocol (inbound, one queue per worker):
 ``("flush", seq)``
     Sent by the control process only at quiescence (TaskCount == 0, so
     no task can still be in flight): reply on the results queue with
-    the accumulated conflict-set deltas, match stats, IPC counters and
-    the conjugate pending-delete count.
+    the accumulated conflict-set deltas, match stats, IPC counters, the
+    conjugate pending-delete count, and the observability *ship* — the
+    worker's local spans/node-profiles/flight-tail, snapshotted and
+    reset so each ship is a delta (:func:`repro.obs.fabric.build_ship`).
+
+``("obs", enabled, max_events)``
+    Mirror the control process's observability state.  Sent only
+    between batches (workers are idle on ``inbox.get()`` then), so it
+    can never interleave with a drain.
 
 ``("stop",)``
     Exit the process loop.
@@ -37,9 +44,13 @@ descendants, so the counter reaching zero proves global quiescence.
 
 from __future__ import annotations
 
+import os
 import traceback
 from typing import Dict, List
 
+from ...obs import events as _obs
+from ...obs import fabric as _fabric
+from ...obs import flight as _flight
 from ...rete.memories import HashMemorySystem
 from ...rete.nodes import Activation, MatchContext
 from ...rete.stats import MatchStats
@@ -76,6 +87,9 @@ class _WorkerState:
             "tasks_local": 0, "tasks_forwarded": 0, "ipc_msgs": 0,
         }
         self._forward_queues = None  # set by run_worker
+        #: Shared cumulative drained-task counter (watchdog progress
+        #: signal); None on engines built before the watchdog existed.
+        self.tasks_done = None  # set by run_worker
 
     # -- TaskCount ----------------------------------------------------------
 
@@ -111,15 +125,33 @@ class _WorkerState:
     def drain(self) -> None:
         """Process the local stack to empty, absorbing forwarded tasks."""
         processed = 0
+        ctx = self.ctx
+        # Stable for the whole drain: the "obs" control message only
+        # arrives between batches, never mid-drain.
+        obs_on = _obs.ENABLED
         while self.local:
             act = self.local.pop()
-            children = act.node.activate(self.ctx, act)
+            if obs_on:
+                t0 = _obs.now()
+                children = act.node.activate(ctx, act)
+                _obs.node_hit(
+                    act.node.node_id,
+                    act.node.kind,
+                    _obs.now() - t0,
+                    ctx.last_opp_examined + ctx.last_same_examined,
+                    len(children),
+                )
+            else:
+                children = act.node.activate(ctx, act)
             self.counters["tasks_local"] += 1
             for child in children:
                 self.route_child(child)
             processed += 1
             if processed % POLL_EVERY == 0:
                 self.absorb_inbox()
+        if self.tasks_done is not None and processed:
+            with self.tasks_done.get_lock():
+                self.tasks_done.value += processed
 
     def absorb_inbox(self) -> None:
         """Pull any forwarded activations waiting on our pipe.  A flush
@@ -142,7 +174,14 @@ class _WorkerState:
 
     # -- message handlers ---------------------------------------------------
 
-    def on_changes(self, payload) -> None:
+    def on_changes(self, seq: int, payload) -> None:
+        obs_on = _obs.ENABLED
+        if obs_on:
+            t0 = _obs.now()
+        _flight.record(
+            "mp.worker", "batch",
+            {"wid": self.wid, "seq": seq, "changes": len(payload)},
+        )
         stats = self.ctx.stats
         n_workers = self.shard.n_workers
         for i, (sign, wme) in enumerate(payload):
@@ -166,6 +205,13 @@ class _WorkerState:
                         self.local.append(Activation(node, side, sign, token))
         self.drain()
         self.finish_units(1)
+        if obs_on:
+            # The "seq" arg is the stitch key: the control process's
+            # dispatch span for this batch carries the same number.
+            _obs.span(
+                "mp.worker", "batch", t0, _obs.now(),
+                args={"seq": seq, "wid": self.wid, "changes": len(payload)},
+            )
 
     def on_act(self, msg) -> None:
         self.local.append(self.rebuild(msg))
@@ -186,36 +232,73 @@ class _WorkerState:
             self.ctx.stats,
             dict(self.counters),
             self.memory.pending_deletes,
+            # The obs ship piggybacks on the flush reply — no extra IPC
+            # round trips.  Cheap when obs is off (empty registry).
+            _fabric.build_ship(),
         ))
         for key in self.counters:
             self.counters[key] = 0
 
+    def on_obs(self, msg) -> None:
+        """Mirror the control process's obs state (between batches)."""
+        _kind, want, max_events = msg
+        if want:
+            _obs.reset()
+            _obs.enable(max_events)
+            # Per-activation probes (ctx.last_*) only populate under
+            # `tracing`; node hot-spots need the examined counts.
+            self.ctx.tracing = True
+        else:
+            _obs.disable()
+            _obs.reset()
+            self.ctx.tracing = False
 
-def run_worker(wid, network, shard, inboxes, outbox, taskcount) -> None:
+
+def run_worker(wid, network, shard, inboxes, outbox, taskcount,
+               tasks_done=None) -> None:
     """Process entry point: loop until ``("stop",)`` or failure.
 
     Failures are reported on the results queue as
-    ``("error", wid, traceback_text)`` before the process exits, so the
-    control process can surface the real exception instead of a hang.
+    ``("error", wid, traceback_text, flight_tail)`` before the process
+    exits, so the control process can surface the real exception — and
+    the worker's last recorded moments — instead of a hang.
     """
+    # Obs module state arrived by fork inheritance from the control
+    # process; start clean and let the explicit ("obs", ...) protocol
+    # drive it, so worker captures never alias the parent's buffers.
+    _obs.disable()
+    _obs.reset()
+    _flight.reset()
+    _flight.record("mp.worker", "start", {"wid": wid, "pid": os.getpid()})
     state = _WorkerState(wid, network, shard, inboxes[wid], outbox, taskcount)
     state._forward_queues = inboxes
+    state.tasks_done = tasks_done
     try:
         while not state.stopping:
             msg = state.inbox.get()
             kind = msg[0]
             if kind == "changes":
-                state.on_changes(msg[2])
+                state.on_changes(msg[1], msg[2])
             elif kind == "act":
                 state.on_act(msg)
             elif kind == "flush":
                 state.on_flush(msg[1])
+            elif kind == "obs":
+                state.on_obs(msg)
             elif kind == "stop":
+                _flight.record("mp.worker", "stop", {"wid": wid})
                 break
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unknown message {kind!r}")
-    except BaseException:
+    except BaseException as exc:
+        _flight.record(
+            "mp.worker", "error",
+            {"wid": wid, "error": repr(exc)},
+        )
         try:
-            state.outbox.put(("error", wid, traceback.format_exc()))
+            state.outbox.put(
+                ("error", wid, traceback.format_exc(),
+                 _flight.tail(_fabric.SHIP_FLIGHT_TAIL))
+            )
         finally:
             raise

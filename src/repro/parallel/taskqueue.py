@@ -55,6 +55,12 @@ class TaskCount:
     def zero(self) -> bool:
         return self._value == 0
 
+    @property
+    def holder(self) -> Optional[str]:
+        """Thread currently inside the counter's spin lock (None unless
+        :data:`repro.parallel.locks.HOLDER_TRACKING` is on)."""
+        return self._lock.holder
+
 
 class TaskQueueSet:
     """``n_queues`` LIFO task queues with per-queue spin locks.
@@ -104,6 +110,19 @@ class TaskQueueSet:
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def depths(self) -> List[int]:
+        """Instantaneous per-queue depths, lock-free (a racy read is
+        fine for the watchdog's stall probe)."""
+        return [len(q) for q in self._queues]
+
+    def holders(self) -> dict:
+        """Currently-held queue locks (empty unless HOLDER_TRACKING)."""
+        return {
+            f"queue[{i}]": lock.holder
+            for i, lock in enumerate(self._locks)
+            if lock.holder is not None
+        }
 
     def lock_stats(self) -> LockStats:
         merged = LockStats()

@@ -259,6 +259,57 @@ def _mp_tourney() -> RepResult:
     return _mp_speedup(tourney.source(n_teams=8, n_rounds=12))
 
 
+def _fabric_mp() -> RepResult:
+    """Trace-fabric cost and health: a 2-worker mp run with the obs
+    bus ON, worker spans shipped over the pipes and stitched into one
+    multi-process Chrome trace, an (untrippable) stall watchdog riding
+    along.  The fabric counters — ship batches, shipped spans, stitch
+    orphans, trace schema problems, watchdog trips — are deterministic
+    functions of the run and feed the stable gate; the wall clock is
+    the human-readable cost headline.  Manages the bus itself, so it
+    must not share a process-wide bus epoch with the profiler
+    (``profiled=False``).
+    """
+    from ..obs import events as _events
+    from ..obs.export import validate_chrome_trace
+    from ..ops5.interpreter import Interpreter
+    from ..ops5.parser import parse_program
+    from ..parallel.mp import ProcessMatcher
+    from ..rete.network import ReteNetwork
+
+    program = parse_program(_smoke_source())
+    network = ReteNetwork.compile(program)
+    _events.reset()
+    _events.enable()
+    started = perf_counter()
+    try:
+        matcher = ProcessMatcher(network, n_workers=2, watchdog_s=600.0)
+        interp = Interpreter(program, matcher=matcher, network=network)
+        try:
+            interp.run(max_cycles=50000)
+            doc, orphans = matcher.obs_stitched_trace()
+            trips = matcher.watchdog.trips if matcher.watchdog else 0
+            ship_batches = float(matcher.fabric.ship_batches)
+            shipped_spans = float(matcher.fabric.shipped_spans)
+        finally:
+            interp.close()
+    finally:
+        _events.disable()
+        _events.reset()
+    wall = perf_counter() - started
+    return RepResult(
+        metrics={
+            "wall_s": wall,
+            "ship_batches": ship_batches,
+            "shipped_spans": shipped_spans,
+            "stitch_orphans": float(orphans),
+            "trace_problems": float(len(validate_chrome_trace(doc))),
+            "watchdog_trips": float(trips),
+        },
+        network=network,
+    )
+
+
 def _serve_loadgen() -> RepResult:
     from ..serve.loadgen import run_loadgen
 
@@ -538,6 +589,24 @@ _register(Scenario(
     suites=("full",),
     specs=_mp_specs(),
     run=_mp_tourney,
+    profiled=False,
+    repeat=1,
+    precondition=_mp_precondition,
+))
+
+_register(Scenario(
+    scenario_id="fabric-mp",
+    title="Trace fabric: 2-worker mp run, bus on, stitched Chrome trace",
+    suites=("smoke", "full"),
+    specs=(
+        _wall("wall_s", headline=True),
+        _stable("ship_batches", "count", "lower"),
+        _stable("shipped_spans", "count", "lower"),
+        _stable("stitch_orphans", "count", "lower"),
+        _stable("trace_problems", "count", "lower"),
+        _stable("watchdog_trips", "count", "lower"),
+    ),
+    run=_fabric_mp,
     profiled=False,
     repeat=1,
     precondition=_mp_precondition,

@@ -19,6 +19,7 @@ from time import perf_counter
 from typing import List, Optional
 
 from ..obs import events as _obs
+from ..obs import flight as _flight
 from ..ops5.wme import WMEChange
 from .memories import make_memory
 from .network import ReteNetwork
@@ -127,6 +128,7 @@ class SequentialMatcher:
     def process_changes(self, changes: List[WMEChange]) -> List[CSDelta]:
         """Process a batch of changes in order (one RHS's output)."""
         start = perf_counter()
+        _flight.record("sequential", "batch", {"changes": len(changes)})
         deltas: List[CSDelta] = []
         for change in changes:
             deltas.extend(self.process_change(change))

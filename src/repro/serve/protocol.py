@@ -44,6 +44,13 @@ Requests
     :mod:`repro.obs` event bus is enabled in the server process — the
     global hot-spot profile (hot nodes/productions/locks/phases).
 
+``{"id": .., "type": "dump"}``
+    Flight-recorder snapshot of the server process — the always-on
+    ring of recent engine events (see :mod:`repro.obs.flight`) — plus
+    event-bus health.  → ``{"ok": true, "flight": {<repro.flight/1
+    snapshot>}, "obs_enabled": bool, "dropped_events": n}``.  Cheap
+    enough for a crash-time grab: no tracing needs to be enabled.
+
 ``{"id": .., "type": "close", "session": ..}``
     Drain the session's queued transactions, then release it.
 

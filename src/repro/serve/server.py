@@ -223,6 +223,8 @@ class ReproServer:
             return self._handle_stats(msg)
         if rtype == "profile":
             return self._handle_profile(msg)
+        if rtype == "dump":
+            return self._handle_dump(msg)
         if rtype == "close":
             return await self._handle_close(msg)
         if rtype == "ping":
@@ -352,6 +354,21 @@ class ReproServer:
             server=self.metrics.snapshot(),
             netcache=self.netcache.stats(),
             sessions={s.session_id: s.snapshot() for s in self.sessions.values()},
+        )
+
+    def _handle_dump(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Flight-recorder snapshot of this server process: the
+        always-on ring of recent engine events (every session's engines
+        feed it), for diagnosing a live server without restarting it
+        with tracing on."""
+        from ..obs import flight as obs_flight
+
+        doc = obs_flight.snapshot("serve dump")
+        return ok_response(
+            msg.get("id"),
+            flight=doc,
+            obs_enabled=obs_events.enabled(),
+            dropped_events=obs_events.dropped_total(),
         )
 
     def _handle_profile(self, msg: Dict[str, Any]) -> Dict[str, Any]:

@@ -124,8 +124,14 @@ class TestPrometheus:
         assert "repro_obs" not in prometheus_text(self.SERVER)
 
     def test_obs_dropped_total_tracks_buffer_saturation(self, obs):
+        before = events.dropped_total()
         events.enable(max_events_per_worker=2)
         for i in range(5):
             events.span("cat", "name", i, i + 1)
-        assert events.dropped_total() == 3
+        assert events.dropped_total() == before + 3
         assert events.snapshot().dropped == 3
+        # The counter is monotonic over the process lifetime: resetting
+        # the capture retires the buffers but retains their drops.
+        events.reset()
+        assert events.dropped_total() == before + 3
+        assert events.snapshot().dropped == 0

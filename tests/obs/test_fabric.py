@@ -1,0 +1,328 @@
+"""The cross-process trace fabric: shipping, collection, stitching,
+and the raw-capture round trip.
+
+Unit tests fabricate ships and snapshots; the integration class at the
+bottom runs the real mp engine (skipped where 'fork' is unavailable)
+and checks the cross-engine property the fabric exists for — an mp
+run's merged node profile covers the same node set as a sequential
+run of the same program.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import events, fabric
+from repro.obs.events import ObsSnapshot
+from repro.obs.export import validate_chrome_trace
+from repro.obs.fabric import (
+    FabricCollector,
+    WORKER_PID_BASE,
+    build_ship,
+    capture_doc,
+    load_capture,
+    merged_snapshot,
+    stitch_trace,
+    validate_capture,
+    write_capture,
+)
+
+
+def ship(wid=0, seq=1, pid=4242, t0=1_000, nodes=None, flight=None, **extra):
+    payload = {
+        "pid": pid,
+        "spans": [(t0, 500, "mp.worker", "batch",
+                   {"seq": seq, "wid": wid, "changes": 2})],
+        "nodes": nodes or {},
+        "counters": {"queue.push": 3},
+        "dropped": 0,
+        "ship_dropped": 0,
+        "flight": flight if flight is not None else [
+            {"t_ns": t0, "engine": "mp.worker", "event": "batch",
+             "detail": {"seq": seq}}
+        ],
+    }
+    payload.update(extra)
+    return payload
+
+
+def control_snapshot(seqs=(1,)):
+    """A control-process snapshot with one mp.dispatch span per seq."""
+    snap = ObsSnapshot()
+    snap.workers = {
+        "MainThread": [
+            (seq * 1_000 - 200, 100, "mp", "dispatch",
+             {"changes": 2, "seq": seq})
+            for seq in seqs
+        ]
+    }
+    return snap
+
+
+class TestBuildShip:
+    def test_snapshots_and_resets_the_local_bus(self, obs):
+        events.span("task", "join", 10, 20)
+        payload = build_ship()
+        assert len(payload["spans"]) == 1
+        assert payload["spans"][0][2:4] == ("task", "join")
+        # The bus was reset: a second ship is an empty delta.
+        assert build_ship()["spans"] == []
+
+    def test_bounds_spans_and_counts_overflow(self, obs):
+        for i in range(10):
+            events.span("task", "join", i, i + 1)
+        payload = build_ship(max_spans=4)
+        assert len(payload["spans"]) == 4
+        assert payload["ship_dropped"] == 6
+        # The most recent spans survive, not the oldest.
+        assert payload["spans"][-1][0] == 9
+
+    def test_carries_flight_tail(self, obs):
+        from repro.obs import flight
+
+        flight.configure(flight.DEFAULT_RING_SIZE)
+        try:
+            flight.record("mp.worker", "start", {"wid": 0})
+            payload = build_ship(tail_n=5)
+            assert payload["flight"][-1]["event"] == "start"
+        finally:
+            flight.configure(flight.DEFAULT_RING_SIZE)
+
+
+class TestFabricCollector:
+    def test_absorb_accumulates_lanes(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(wid=0, seq=1))
+        collector.absorb(0, ship(wid=0, seq=2, t0=2_000))
+        collector.absorb(1, ship(wid=1, seq=1, pid=4243))
+        assert sorted(collector.lanes) == [0, 1]
+        assert collector.ship_batches == 3
+        assert collector.shipped_spans == 3
+        lane = collector.lanes[0]
+        assert lane.name == "match-0" and lane.pid == 4242
+        assert lane.counters["queue.push"] == 6
+
+    def test_lane_span_cap_counts_drops(self, monkeypatch):
+        monkeypatch.setattr(fabric, "LANE_MAX_SPANS", 3)
+        collector = FabricCollector()
+        many = ship(wid=0)
+        many["spans"] = [(i, 1, "mp.worker", "batch", None) for i in range(5)]
+        collector.absorb(0, many)
+        lane = collector.lanes[0]
+        assert len(lane.spans) == 3
+        assert lane.dropped == 2
+
+    def test_node_aggregates_merge(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(nodes={7: ["join", 2, 100, 4, 1]}))
+        collector.absorb(0, ship(seq=2, nodes={7: ["join", 3, 50, 2, 0]}))
+        assert collector.lanes[0].nodes[7] == ["join", 5, 150, 6, 1]
+
+    def test_flight_tails_keeps_last_known(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(seq=1))
+        collector.absorb(0, ship(seq=2, flight=[
+            {"t_ns": 9, "engine": "mp.worker", "event": "stop", "detail": None}
+        ]))
+        # An empty tail on a later ship must not erase the last-known one.
+        collector.absorb(0, ship(seq=3, flight=[]))
+        tails = collector.flight_tails()
+        assert tails["match-0"][-1]["event"] == "stop"
+
+    def test_absorb_bumps_control_bus_counters(self, obs):
+        collector = FabricCollector()
+        collector.absorb(0, ship())
+        snap = events.snapshot()
+        assert snap.counters["fabric.ship_batches"] == 1
+        assert snap.counters["fabric.ship_spans"] == 1
+
+
+class TestMergedSnapshot:
+    def test_lanes_become_worker_timelines(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(nodes={7: ["join", 2, 100, 4, 1]}))
+        snap = control_snapshot()
+        snap.nodes = {7: ["join", 1, 10, 1, 0], 9: ["not", 1, 5, 0, 0]}
+        merged = merged_snapshot(snap, collector)
+        assert "mp:match-0" in merged.workers
+        assert merged.nodes[7] == ["join", 3, 110, 5, 1]
+        assert merged.nodes[9] == ["not", 1, 5, 0, 0]
+        # The originals are untouched (merged is a deep copy).
+        assert snap.nodes[7][1] == 1
+        assert "mp:match-0" not in snap.workers
+
+
+class TestStitchTrace:
+    def test_flow_links_dispatch_to_worker_batches(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(wid=0, seq=1))
+        collector.absorb(1, ship(wid=1, seq=1, pid=4243))
+        doc, orphans = stitch_trace(control_snapshot(seqs=(1,)), collector)
+        assert orphans == 0
+        assert validate_chrome_trace(doc) == []
+        events_ = doc["traceEvents"]
+        pids = {e["pid"] for e in events_}
+        assert pids == {1, WORKER_PID_BASE, WORKER_PID_BASE + 1}
+        starts = [e for e in events_ if e["ph"] == "s"]
+        finishes = [e for e in events_ if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 2
+        # One unique flow id per (dispatch, worker) arrow.
+        assert len({e["id"] for e in starts}) == 2
+        for f in finishes:
+            assert f["bp"] == "e"
+        assert doc["otherData"]["fabric_lanes"] == 2
+        assert doc["otherData"]["stitch_orphans"] == 0
+
+    def test_orphan_batches_are_counted_not_linked(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(seq=1))
+        collector.absorb(0, ship(seq=99, t0=2_000))  # no such dispatch
+        doc, orphans = stitch_trace(control_snapshot(seqs=(1,)), collector)
+        assert orphans == 1
+        assert doc["otherData"]["stitch_orphans"] == 1
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "s"]) == 1
+
+    def test_process_names_label_the_lanes(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship())
+        doc, _ = stitch_trace(control_snapshot(), collector)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[1] == "control"
+        assert names[WORKER_PID_BASE].startswith("match-0")
+
+
+class TestCaptureRoundTrip:
+    def build(self):
+        collector = FabricCollector()
+        collector.absorb(0, ship(nodes={7: ["join", 2, 100, 4, 1]}))
+        snap = control_snapshot()
+        snap.nodes = {3: ["alpha", 1, 10, 1, 1]}
+        snap.counters = {"queue.push": 5}
+        return snap, collector
+
+    def test_doc_validates_and_survives_json(self, tmp_path):
+        snap, collector = self.build()
+        assert validate_capture(capture_doc(snap, collector)) == []
+        path = tmp_path / "capture.json"
+        write_capture(str(path), snap, collector)
+        doc = json.loads(path.read_text())
+        assert validate_capture(doc) == []
+        snap2, collector2 = load_capture(doc)
+        assert snap2.workers.keys() == snap.workers.keys()
+        assert snap2.nodes == snap.nodes
+        assert collector2.lanes[0].nodes == collector.lanes[0].nodes
+        assert collector2.lanes[0].ship_batches == 1
+
+    def test_restitched_capture_matches_original(self, tmp_path):
+        snap, collector = self.build()
+        original, orphans = stitch_trace(snap, collector)
+        path = tmp_path / "capture.json"
+        write_capture(str(path), snap, collector)
+        snap2, collector2 = load_capture(json.loads(path.read_text()))
+        restitched, orphans2 = stitch_trace(snap2, collector2)
+        assert orphans2 == orphans
+        assert restitched["traceEvents"] == json.loads(
+            json.dumps(original["traceEvents"])
+        )
+
+    def test_load_rejects_bad_doc(self):
+        with pytest.raises(ValueError, match="bad fabric capture"):
+            load_capture({"schema": "nope"})
+        assert validate_capture([]) == ["document is not a JSON object"]
+        assert any(
+            "lanes" in p
+            for p in validate_capture(
+                {"schema": fabric.FABRIC_SCHEMA, "control": {"workers": {}}}
+            )
+        )
+
+
+# -- integration against the real mp engine ---------------------------------
+
+
+from repro.parallel.mp import ProcessMatcher, mp_supported  # noqa: E402
+
+needs_mp = pytest.mark.skipif(
+    not mp_supported(), reason="mp engine needs the 'fork' start method"
+)
+
+
+@needs_mp
+class TestMpIntegration:
+    def run_traced(self, source, engine, **opts):
+        from repro.ops5.interpreter import Interpreter
+
+        events.reset()
+        events.enable()
+        try:
+            interp = Interpreter(source, engine=engine, engine_opts=opts)
+            try:
+                interp.run(max_cycles=2000)
+                snap = events.snapshot()
+                return interp, snap
+            finally:
+                interp.close()
+        finally:
+            events.disable()
+            events.reset()
+
+    def test_mp_node_profile_matches_sequential_node_set(self):
+        """The cross-engine property: a bus-on tourney run under mp
+        must yield (merged) per-node profiles covering exactly the node
+        set the sequential engine activates — the workers' shipped
+        aggregates are the real thing, not a subsample.  Per-node
+        activation *counts* may legitimately exceed the sequential
+        run's (cross-shard forwarding re-activates some beta nodes),
+        but the merged total must equal what the mp engine's own
+        MatchStats counted — the identity the ``repro trace`` footer
+        checks."""
+        from repro.programs import tourney
+
+        source = tourney.source(n_teams=4, n_rounds=3)
+        seq_interp, seq_snap = self.run_traced(source, "sequential")
+        mp_interp, mp_control = self.run_traced(
+            source, "mp", n_workers=2)
+        merged = merged_snapshot(mp_control, mp_interp.matcher.fabric)
+        assert set(merged.nodes) == set(seq_snap.nodes)
+        for node_id, agg in merged.nodes.items():
+            assert agg[0] == seq_snap.nodes[node_id][0]  # same kind
+            assert agg[1] >= seq_snap.nodes[node_id][1]
+        assert sum(agg[1] for agg in merged.nodes.values()) == (
+            mp_interp.matcher.stats.node_activations
+        )
+
+    def test_stitched_trace_covers_all_processes(self):
+        from tests.conftest import FIND_COLORED_BLOCK
+
+        interp, snap = self.run_traced(FIND_COLORED_BLOCK, "mp", n_workers=2)
+        doc, orphans = stitch_trace(snap, interp.matcher.fabric)
+        assert orphans == 0
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, WORKER_PID_BASE, WORKER_PID_BASE + 1}
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+
+    def test_worker_tails_flow_with_bus_off(self):
+        """Ships travel on every flush even with tracing disabled —
+        that is what keeps dead-worker forensics and watchdog bundles
+        available in an untraced run."""
+        from repro.ops5.interpreter import Interpreter
+        from tests.conftest import FIND_COLORED_BLOCK
+
+        assert not events.ENABLED
+        interp = Interpreter(FIND_COLORED_BLOCK, engine="mp",
+                             engine_opts={"n_workers": 2})
+        try:
+            interp.run(max_cycles=100)
+            tails = interp.matcher.fabric.flight_tails()
+            assert set(tails) == {"match-0", "match-1"}
+            for tail in tails.values():
+                assert any(e["engine"] == "mp.worker" for e in tail)
+            # But no spans were shipped: the bus was off in the workers.
+            assert interp.matcher.fabric.shipped_spans == 0
+        finally:
+            interp.close()

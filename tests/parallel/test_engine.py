@@ -100,3 +100,75 @@ class TestEngineMechanics:
         with pytest.raises(RuntimeError):
             interp.add_wme("a", {"x": 1})
             interp.add_wme("b", {"y": 1})
+
+
+class TestWatchdog:
+    def build(self, **kw):
+        network = ReteNetwork.compile(parse_program(FIND_COLORED_BLOCK))
+        return ParallelMatcher(network, **kw)
+
+    def test_watchdog_enables_holder_tracking_while_attached(self):
+        from repro.parallel import locks
+
+        assert not locks.HOLDER_TRACKING
+        matcher = self.build(n_workers=1, watchdog_s=600.0)
+        try:
+            assert matcher.watchdog is not None
+            assert locks.HOLDER_TRACKING
+        finally:
+            matcher.close()
+        assert not locks.HOLDER_TRACKING
+
+    def test_probe_reports_queues_taskcount_and_liveness(self):
+        matcher = self.build(n_workers=2, n_queues=3, watchdog_s=600.0)
+        try:
+            sample = matcher._watchdog_probe()
+            names = [name for name, _depth in sample.queues]
+            assert names == ["queue[0]", "queue[1]", "queue[2]", "taskcount"]
+            assert sample.extra["workers_alive"] == 2
+            assert sample.extra["failures"] == 0
+        finally:
+            matcher.close()
+
+    def test_forced_stall_trips_with_schema_valid_bundle(self, tmp_path):
+        """The acceptance fixture on the real engine: park a phantom
+        task on TaskCount (pending work no worker can ever drain) and
+        the watchdog must trip within ~stall_after_s, writing a bundle
+        that validates and names the stuck counter."""
+        import json
+        import time as _time
+
+        from repro.obs.watchdog import validate_bundle
+
+        path = tmp_path / "stall.json"
+        matcher = self.build(
+            n_workers=2, watchdog_s=0.1, watchdog_dump=str(path)
+        )
+        try:
+            matcher.taskcount.increment()  # never decremented: a stall
+            deadline = _time.monotonic() + 10.0
+            while not matcher.watchdog.tripped and _time.monotonic() < deadline:
+                _time.sleep(0.02)
+            assert matcher.watchdog.tripped
+            assert matcher.watchdog.trips == 1  # one bundle per episode
+            bundle = matcher.watchdog.bundles[0]
+            assert validate_bundle(bundle) == []
+            assert bundle["engine"] == "threaded"
+            assert bundle["stuck_queue"] == "taskcount"
+            doc = json.loads(path.read_text())
+            assert validate_bundle(doc) == []
+        finally:
+            matcher.taskcount.decrement()
+            matcher.close()
+
+    def test_healthy_run_never_trips(self):
+        program = parse_program(FIND_COLORED_BLOCK)
+        network = ReteNetwork.compile(program)
+        matcher = ParallelMatcher(network, n_workers=2, watchdog_s=0.2)
+        interp = Interpreter(program, matcher=matcher)
+        try:
+            interp.run()
+            assert matcher.tasks_done > 0
+        finally:
+            interp.close()
+        assert not matcher.watchdog.tripped

@@ -96,6 +96,24 @@ class TestFailurePropagation:
         finally:
             matcher.close()
 
+    def test_worker_exception_surfaces_flight_tail(self):
+        """A dying worker ships its flight-recorder tail with the error
+        message, so the propagated traceback ends with the worker's
+        last recorded moments (its start event at minimum)."""
+        _program, network = compiled_network(FIND_COLORED_BLOCK)
+        matcher = ProcessMatcher(network, n_workers=1)
+        try:
+            with matcher._taskcount.get_lock():
+                matcher._taskcount.value += 1
+            matcher._inboxes[0].put(("act", -12345, "L", 1, ()))
+            with pytest.raises(RuntimeError) as excinfo:
+                matcher._wait_quiescent()
+        finally:
+            matcher.close()
+        text = str(excinfo.value)
+        assert "worker flight recorder (last" in text
+        assert "mp.worker.start" in text
+
 
 class TestEngineFactory:
     def test_engine_names_registry(self):
@@ -131,6 +149,43 @@ class TestEngineFactory:
             assert result.firings
         finally:
             interp.close()
+
+
+class TestWatchdogWiring:
+    def test_watchdog_attaches_and_probe_reads_shared_counters(self):
+        _program, network = compiled_network(FIND_COLORED_BLOCK)
+        matcher = ProcessMatcher(network, n_workers=2, watchdog_s=600.0)
+        try:
+            assert matcher.watchdog is not None
+            assert matcher.watchdog.engine == "mp"
+            sample = matcher._watchdog_probe()
+            assert sample.tasks_done == 0
+            assert sample.queues == [("taskcount", 0)]
+            assert set(sample.extra["workers"]) == {
+                proc.name for proc in matcher._procs
+            }
+        finally:
+            matcher.close()
+        assert matcher.watchdog._thread is None  # close() stopped it
+
+    def test_progress_counter_advances_with_work(self):
+        program, network = compiled_network(FIND_COLORED_BLOCK)
+        matcher = ProcessMatcher(network, n_workers=2, watchdog_s=600.0)
+        interp = Interpreter(program, matcher=matcher, network=network)
+        try:
+            interp.run(max_cycles=100)
+            assert matcher._watchdog_probe().tasks_done > 0
+            assert not matcher.watchdog.tripped
+        finally:
+            interp.close()
+
+    def test_no_watchdog_by_default(self):
+        _program, network = compiled_network(FIND_COLORED_BLOCK)
+        matcher = ProcessMatcher(network, n_workers=1)
+        try:
+            assert matcher.watchdog is None
+        finally:
+            matcher.close()
 
 
 class TestMeasurement:

@@ -27,7 +27,7 @@ class TestRegistryIntegrity:
     def test_smoke_suite_members(self):
         assert set(select("smoke")) == {
             "match-weaver", "sim-weaver", "parallel-weaver", "serve-loadgen",
-            "mp-speedup-weaver", "corgi-adversarial",
+            "mp-speedup-weaver", "corgi-adversarial", "fabric-mp",
         }
 
     def test_full_suite_superset_of_smoke(self):

@@ -274,6 +274,86 @@ class TestTop:
         assert "hot nodes (top 2):" in out
 
 
+class TestObsVerbs:
+    @staticmethod
+    def needs_mp():
+        from repro.parallel.mp import mp_supported
+
+        if not mp_supported():
+            pytest.skip("mp engine needs the 'fork' start method")
+
+    def test_trace_mp_stitched_plus_capture_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        from repro.obs.fabric import validate_capture
+
+        self.needs_mp()
+        out = tmp_path / "stitched.json"
+        capture = tmp_path / "capture.json"
+        assert main(["trace", "blocks", "--engine", "mp", "--workers", "2",
+                     "--out", str(out), "--fabric-out", str(capture)]) == 0
+        assert "(equal)" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 100, 101}
+        assert any(e.get("ph") == "s" for e in doc["traceEvents"])
+        assert doc["otherData"]["stitch_orphans"] == 0
+        assert validate_capture(json.loads(capture.read_text())) == []
+
+        restitched = tmp_path / "restitched.json"
+        assert main(["obs", "stitch", str(capture),
+                     "--out", str(restitched)]) == 0
+        doc2 = json.loads(restitched.read_text())
+        assert validate_chrome_trace(doc2) == []
+        assert {e["pid"] for e in doc2["traceEvents"]} == pids
+
+    def test_obs_stitch_rejects_bad_capture(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}', encoding="utf-8")
+        with pytest.raises(SystemExit, match="obs stitch"):
+            main(["obs", "stitch", str(bad), "--out", "/dev/null"])
+
+    def test_obs_flight_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.flight import validate_flight
+
+        out = tmp_path / "flight.json"
+        assert main(["obs", "flight", "blocks", "--out", str(out),
+                     "--ring", "64"]) == 0
+        assert "flight:" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_flight(doc) == []
+        assert doc["ring_capacity"] == 64
+        assert doc["events"]
+
+    def test_obs_flight_mp_collects_worker_tails(self, tmp_path):
+        import json
+
+        from repro.obs.flight import validate_flight
+
+        self.needs_mp()
+        out = tmp_path / "flight.json"
+        assert main(["obs", "flight", "blocks", "--engine", "mp",
+                     "--workers", "2", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_flight(doc) == []
+        assert set(doc["workers"]) == {"match-0", "match-1"}
+
+    def test_run_watchdog_needs_parallel_engine(self, program_file):
+        with pytest.raises(SystemExit, match="threaded or mp"):
+            main(["run", program_file, "--watchdog", "5"])
+
+    def test_run_with_watchdog_threaded(self, program_file, capsys):
+        assert main(["run", program_file, "--engine", "threaded",
+                     "--workers", "2", "--watchdog", "60"]) == 0
+        captured = capsys.readouterr()
+        assert "hello world" in captured.out
+        assert "watchdog tripped" not in captured.err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
