@@ -43,12 +43,15 @@ Commands
     Run a program and print one hot-spot table — ``--by
     production|node|lock|phase`` — hottest entries first.
 
-``obs flight|stitch``
+``obs flight|stitch|slo``
     Flight-recorder and trace-fabric tools: ``flight`` runs a program
     and dumps the always-on ring of recent engine events as a
     schema-versioned snapshot; ``stitch`` re-stitches a saved fabric
     capture (``trace --engine mp --fabric-out``) into a Chrome trace
-    offline.
+    offline; ``slo`` renders a saved meter snapshot (``loadgen
+    --meter-out`` or the server's ``meter`` verb) as a per-tenant
+    latency/burn-rate report, optionally reconciling the server-side
+    percentiles against loadgen's client-observed latency summary.
 
 ``serve``
     Host OPS5 sessions over a line-delimited JSON protocol: many
@@ -481,6 +484,157 @@ def cmd_obs_stitch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_meter_doc(path: str):
+    """A meter snapshot plus (optionally) the loadgen summary it was
+    captured with.  Accepts both the raw ``meter`` verb response body
+    and the ``loadgen --meter-out`` wrapper."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro obs slo: cannot read {path}: {exc}")
+    if not isinstance(doc, dict):
+        raise SystemExit(f"repro obs slo: {path} is not a JSON object")
+    if isinstance(doc.get("meter"), dict):  # loadgen wrapper
+        return doc["meter"], doc.get("loadgen") or {}
+    if "sessions" in doc and "tenants" in doc:  # raw snapshot
+        return doc, {}
+    raise SystemExit(
+        f"repro obs slo: {path} is neither a meter snapshot nor a "
+        "loadgen --meter-out file"
+    )
+
+
+def _slo_from_latency(lat: dict, objective) -> dict:
+    """Recompute one objective's report from a snapshot's histogram
+    JSON (counts are per-bucket, +Inf last)."""
+    buckets = lat.get("buckets_ms") or []
+    counts = lat.get("counts") or []
+    total = lat.get("count", 0)
+    good = sum(
+        c for le, c in zip(buckets, counts) if le <= objective.target_ms
+    )
+    achieved = (good / total) if total else 1.0
+    violation = 1.0 - achieved
+    budget = 1.0 - objective.goal
+    burn = (violation / budget) if budget > 0 else (
+        0.0 if violation == 0 else float("inf"))
+    return {
+        "objective": objective.to_json(),
+        "total": total,
+        "good": good,
+        "achieved": achieved,
+        "burn_rate": burn,
+        "met": achieved >= objective.goal,
+    }
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Render a saved meter snapshot as an SLO report."""
+    from .obs import meter as obs_meter
+
+    snap, loadgen = _load_meter_doc(args.file)
+    tenants = snap.get("tenants") or {}
+    if not tenants:
+        print("repro obs slo: snapshot has no tenant accounts", file=sys.stderr)
+        return 1
+
+    if args.target_ms is not None or args.goal is not None:
+        target = args.target_ms if args.target_ms is not None else 250.0
+        goal = args.goal if args.goal is not None else 0.99
+        objectives = [obs_meter.SLObjective("cli", target, goal)]
+        recompute = True
+    else:
+        objectives = [
+            obs_meter.SLObjective(o["name"], o["target_ms"], o["goal"])
+            for o in snap.get("objectives", [])
+        ]
+        recompute = False
+
+    failures: List[str] = []
+    obj_text = ", ".join(
+        f"{o.name} ({o.goal * 100:g}% under {o.target_ms:g}ms)"
+        for o in objectives
+    ) or "(none)"
+    print(f"slo report ({snap.get('schema', '?')}) — objectives: {obj_text}")
+    client_tenants = loadgen.get("tenants") or {}
+    for tenant in sorted(tenants):
+        acct = tenants[tenant]
+        counters = acct.get("counters", {})
+        print(
+            f"tenant {tenant}: txns={int(counters.get('txns', 0))} "
+            f"p50={acct.get('p50_ms', 0):.2f}ms "
+            f"p95={acct.get('p95_ms', 0):.2f}ms "
+            f"p99={acct.get('p99_ms', 0):.2f}ms"
+        )
+        print(
+            f"  work: match={counters.get('match_s', 0):.3f}s "
+            f"select={counters.get('select_s', 0):.3f}s "
+            f"act={counters.get('act_s', 0):.3f}s "
+            f"firings={int(counters.get('firings', 0))} "
+            f"wm={int(counters.get('wm_changes', 0))} "
+            f"queue_wait={counters.get('queue_wait_s', 0):.3f}s "
+            f"ipc={int(counters.get('ipc_bytes', 0))}B "
+            f"rejected={int(counters.get('rejected_busy', 0))}/"
+            f"{int(counters.get('rejected_budget', 0))} "
+            f"dropped={int(counters.get('dropped_events', 0))}"
+        )
+        if recompute:
+            reports = [
+                _slo_from_latency(acct.get("latency", {}), o)
+                for o in objectives
+            ]
+        else:
+            reports = acct.get("slo", [])
+        for rep in reports:
+            obj = rep["objective"]
+            verdict = "OK" if rep["burn_rate"] <= args.max_burn else "BURNING"
+            if verdict != "OK":
+                failures.append(
+                    f"tenant {tenant}: {obj['name']} burn "
+                    f"{rep['burn_rate']:.2f}x > {args.max_burn:g}x"
+                )
+            print(
+                f"  {obj['name']}: achieved {rep['achieved'] * 100:.2f}% "
+                f"({rep['good']}/{rep['total']} under {obj['target_ms']:g}ms), "
+                f"burn {rep['burn_rate']:.2f}x — {verdict}"
+            )
+        if args.reconcile:
+            client = client_tenants.get(tenant)
+            if client is None:
+                failures.append(
+                    f"tenant {tenant}: no client-side latency to reconcile"
+                )
+                print("  reconcile: no loadgen summary for this tenant — FAIL")
+                continue
+            meter_p99 = acct.get("p99_ms", 0.0)
+            client_p99 = client.get("p99_ms", 0.0)
+            delta = abs(meter_p99 - client_p99)
+            # Client latency adds wire round-trip + JSON on top of the
+            # meter's submit→done; allow the larger of the absolute and
+            # relative slack.
+            allowed = max(args.tolerance_ms, 0.5 * client_p99)
+            ok = delta <= allowed
+            if not ok:
+                failures.append(
+                    f"tenant {tenant}: meter p99 {meter_p99:.2f}ms vs "
+                    f"client p99 {client_p99:.2f}ms (Δ{delta:.2f}ms > "
+                    f"{allowed:.2f}ms)"
+                )
+            print(
+                f"  reconcile: meter p99 {meter_p99:.2f}ms vs client p99 "
+                f"{client_p99:.2f}ms (Δ{delta:.2f}ms <= {allowed:.2f}ms) — "
+                f"{'OK' if ok else 'FAIL'}"
+            )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -500,10 +654,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         limits.validate()
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}")
+    slo_objectives = None
+    if args.slo:
+        from .obs.meter import parse_objective
+
+        try:
+            slo_objectives = [parse_objective(spec) for spec in args.slo]
+        except ValueError as exc:
+            raise SystemExit(f"repro serve: {exc}")
 
     async def _serve() -> None:
         server = ReproServer(
-            host=args.host, port=args.port, limits=limits, mode=args.mode
+            host=args.host, port=args.port, limits=limits, mode=args.mode,
+            meter=args.meter or bool(slo_objectives), slo=slo_objectives,
         )
         host, port = await server.start()
         try:
@@ -556,6 +719,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     program_source = (
         _read_source(args.program, "loadgen") if args.program else None
     )
+    if args.tenants < 1:
+        raise SystemExit("repro loadgen: --tenants must be positive")
     report = asyncio.run(
         run_loadgen(
             scenario=args.scenario,
@@ -569,6 +734,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             program_source=program_source,
             shutdown_after=args.shutdown_after,
             trace_path=args.trace_out,
+            tenants=args.tenants,
+            engine=args.engine,
+            workers=args.workers,
+            meter=args.meter,
+            meter_out=args.meter_out,
+            prom_out=args.prom_out,
         )
     )
     print(report.format())
@@ -789,6 +960,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Chrome-trace JSON output path")
     o_stitch.set_defaults(func=cmd_obs_stitch)
 
+    o_slo = obs_sub.add_parser(
+        "slo",
+        help="render a saved meter snapshot as a per-tenant SLO report",
+    )
+    o_slo.add_argument("file",
+                       help="meter JSON: `loadgen --meter-out` file or a "
+                            "saved `meter` verb response body")
+    o_slo.add_argument("--target-ms", type=float, default=None,
+                       help="recompute against this latency target "
+                            "instead of the snapshot's objectives")
+    o_slo.add_argument("--goal", type=float, default=None,
+                       help="good fraction for --target-ms "
+                            "(default 0.99)")
+    o_slo.add_argument("--max-burn", type=float, default=1.0,
+                       help="fail (exit 1) when any tenant burns error "
+                            "budget faster than this (default 1.0)")
+    o_slo.add_argument("--reconcile", action="store_true",
+                       help="check meter per-tenant p99 against the "
+                            "loadgen client-side p99 in the same file")
+    o_slo.add_argument("--tolerance-ms", type=float, default=25.0,
+                       help="absolute reconcile slack (relative slack "
+                            "of 50%% applies on top)")
+    o_slo.set_defaults(func=cmd_obs_slo)
+
     p_srv = sub.add_parser(
         "serve", help="host OPS5 sessions over a line-JSON protocol"
     )
@@ -803,6 +998,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable)")
     p_srv.add_argument("--max-sessions", type=int, default=256)
     p_srv.add_argument("--inbox-depth", type=int, default=16)
+    p_srv.add_argument("--meter", action="store_true",
+                       help="enable per-session/per-tenant resource "
+                            "metering (the `meter` verb)")
+    p_srv.add_argument("--slo", action="append", default=[],
+                       metavar="NAME:TARGET_MS:GOAL",
+                       help="SLO objective, e.g. txn_p99:250:0.99 "
+                            "(repeatable; implies --meter)")
     p_srv.set_defaults(func=cmd_serve)
 
     p_lg = sub.add_parser(
@@ -827,7 +1029,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="send a shutdown request when the run is done")
     p_lg.add_argument("--trace-out", metavar="FILE",
                       help="enable the obs event bus for the run and write "
-                           "a Chrome-trace JSON file")
+                           "a Chrome-trace JSON file (stitched across "
+                           "processes when sessions use --engine mp)")
+    p_lg.add_argument("--tenants", type=int, default=1,
+                      help="partition sessions round-robin into N tenant "
+                           "labels t0..tN-1 (default 1 = all 'default')")
+    p_lg.add_argument("--engine", choices=list(ENGINE_NAMES),
+                      default="sequential",
+                      help="match backend each session opens with")
+    p_lg.add_argument("--workers", type=int, default=2,
+                      help="match workers for --engine threaded/mp")
+    p_lg.add_argument("--meter", action="store_true",
+                      help="enable metering on the spawned server and "
+                           "scrape the snapshot into the report")
+    p_lg.add_argument("--meter-out", metavar="FILE",
+                      help="write the meter snapshot + client latency "
+                           "summary as JSON (feed to `repro obs slo`)")
+    p_lg.add_argument("--prom-out", metavar="FILE",
+                      help="write the server's Prometheus exposition here")
     p_lg.set_defaults(func=cmd_loadgen)
 
     p_bench = sub.add_parser(

@@ -111,6 +111,7 @@ class CorgiMatcher:
 
     def __init__(self, network: ReteNetwork) -> None:
         self.network = network
+        _flight.note_engine("corgi", 1)
         self.plans, self._routing = compile_plans(network)
         self._rules: Dict[str, _RuleState] = {
             p.name: _RuleState(p) for p in self.plans

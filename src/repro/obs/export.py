@@ -17,7 +17,8 @@ scraper — or ``curl`` piped through the ``stats`` verb — sees standard
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import re
+from typing import Any, Dict, List, Optional, Tuple
 
 from .events import ObsSnapshot
 
@@ -137,6 +138,7 @@ def prometheus_text(
     sessions: Optional[Dict[str, Dict[str, Any]]] = None,
     netcache: Optional[Dict[str, Any]] = None,
     obs: Optional[Dict[str, Any]] = None,
+    meter: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Serve counters in the Prometheus text exposition format.
 
@@ -145,7 +147,11 @@ def prometheus_text(
     :meth:`~repro.serve.netcache.NetworkCache.stats` dict, and ``obs``
     event-bus health (``enabled`` flag plus the ``dropped_events``
     span-buffer-saturation count from
-    :func:`repro.obs.events.dropped_total`).
+    :func:`repro.obs.events.dropped_total`).  ``meter`` is a
+    :func:`repro.obs.meter.snapshot` document; its per-scope counters
+    render as labelled counter families and its per-tenant latency
+    histograms as ``repro_meter_txn_latency_ms`` buckets carrying
+    OpenMetrics-style trace exemplars (``# {request_id="rN"} value ts``).
     """
     lines: List[str] = []
 
@@ -207,7 +213,10 @@ def prometheus_text(
         )
 
     if sessions:
-        session_fields = ("transactions", "cycles", "firings", "wm_ops", "errors")
+        session_fields = (
+            "transactions", "cycles", "firings", "wm_ops", "errors",
+            "rejected_busy", "rejected_budget",
+        )
         for fieldname in session_fields:
             metric = f"repro_session_{fieldname}_total"
             family(metric, "counter", f"Per-session {fieldname}.")
@@ -222,4 +231,187 @@ def prometheus_text(
                 f'repro_session_wm_size{{session="{_escape_label(sid)}"}} '
                 f"{snap.get('wm_size', 0)}"
             )
+
+    if meter:
+        _append_meter(lines, family, meter)
     return "\n".join(lines) + "\n"
+
+
+def _meter_metric_name(counter: str) -> str:
+    if counter.endswith("_s"):
+        return f"repro_meter_{counter[:-2]}_seconds_total"
+    return f"repro_meter_{counter}_total"
+
+
+def _append_meter(lines: List[str], family, meter: Dict[str, Any]) -> None:
+    """Meter accounts as labelled families: one counter family per
+    meter counter (scope=session|tenant), plus a per-tenant latency
+    histogram with exemplars."""
+    scopes = (("session", meter.get("sessions") or {}),
+              ("tenant", meter.get("tenants") or {}))
+    counter_names: List[str] = []
+    for _scope, accounts in scopes:
+        for acct in accounts.values():
+            for name in (acct.get("counters") or {}):
+                if name not in counter_names:
+                    counter_names.append(name)
+    for counter in sorted(counter_names):
+        metric = _meter_metric_name(counter)
+        family(metric, "counter", f"Metered {counter} per scope.")
+        for scope, accounts in scopes:
+            for key, acct in sorted(accounts.items()):
+                value = (acct.get("counters") or {}).get(counter, 0)
+                label = _escape_label(key)
+                if isinstance(value, float):
+                    lines.append(
+                        f'{metric}{{scope="{scope}",id="{label}"}} {value:.6f}'
+                    )
+                else:
+                    lines.append(
+                        f'{metric}{{scope="{scope}",id="{label}"}} {value}'
+                    )
+
+    metric = "repro_meter_txn_latency_ms"
+    family(metric, "histogram",
+           "Per-tenant transaction latency (submit to done).")
+    for tenant, acct in sorted((meter.get("tenants") or {}).items()):
+        hist = acct.get("latency") or {}
+        bounds = hist.get("buckets_ms") or []
+        counts = hist.get("counts") or []
+        exemplars = hist.get("exemplars") or {}
+        label = _escape_label(tenant)
+        acc = 0
+        for i, le in enumerate(list(bounds) + ["+Inf"]):
+            acc += counts[i] if i < len(counts) else 0
+            le_str = "+Inf" if le == "+Inf" else f"{float(le):g}"
+            line = f'{metric}_bucket{{tenant="{label}",le="{le_str}"}} {acc}'
+            ex = exemplars.get(str(i))
+            if ex:
+                line += (
+                    f' # {{request_id="{_escape_label(ex["request_id"])}"}}'
+                    f' {ex["value_ms"]:.4f} {ex["unix"]:.3f}'
+                )
+            lines.append(line)
+        lines.append(f'{metric}_sum{{tenant="{label}"}} '
+                     f"{hist.get('sum_ms', 0.0):.4f}")
+        lines.append(f'{metric}_count{{tenant="{label}"}} '
+                     f"{hist.get('count', 0)}")
+
+
+# -- Prometheus exposition validation ---------------------------------------
+
+_METRIC_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?P<rest>.*)$"
+)
+
+_EXEMPLAR_RE = re.compile(
+    r"^ # \{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")"
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}"
+    r" -?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    r"(?: \d+(?:\.\d+)?)?$"
+)
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    return dict(_LABEL_RE.findall(raw)) if raw else {}
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Schema-check a Prometheus text exposition; returns problems
+    (empty list = valid).
+
+    Checks what a scraper needs: every sample line parses (name,
+    optional labels, float value), exemplars are well-formed
+    OpenMetrics ``# {labels} value [timestamp]`` suffixes attached only
+    to histogram buckets, and each histogram series has monotone
+    non-decreasing cumulative buckets ending in ``le="+Inf"`` whose
+    count equals the series' ``_count`` sample.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    # (hist family, frozen non-le labels) -> list of (le, value) in order
+    buckets: Dict[Tuple[str, frozenset], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, frozenset], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) >= 4:
+                types[parts[2]] = parts[3]
+            else:
+                problems.append(f"line {lineno}: malformed TYPE comment")
+            continue
+        if line.startswith("#"):
+            continue
+        m = _METRIC_LINE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, raw_labels = m.group("name"), m.group("labels")
+        rest = m.group("rest")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value")
+            continue
+        is_bucket = name.endswith("_bucket")
+        if rest:
+            if not is_bucket:
+                problems.append(
+                    f"line {lineno}: exemplar on non-bucket sample"
+                )
+            elif not _EXEMPLAR_RE.match(rest):
+                problems.append(f"line {lineno}: malformed exemplar {rest!r}")
+        labels = _parse_labels(raw_labels)
+        base = name[:-len("_bucket")] if is_bucket else None
+        if is_bucket:
+            if types.get(base) != "histogram":
+                problems.append(
+                    f"line {lineno}: bucket for undeclared histogram {base!r}"
+                )
+            le = labels.pop("le", None)
+            if le is None:
+                problems.append(f"line {lineno}: bucket without 'le' label")
+                continue
+            le_f = float("inf") if le == "+Inf" else None
+            if le_f is None:
+                try:
+                    le_f = float(le)
+                except ValueError:
+                    problems.append(f"line {lineno}: bad le={le!r}")
+                    continue
+            key = (base, frozenset(labels.items()))
+            buckets.setdefault(key, []).append((le_f, value))
+        elif name.endswith("_count") and types.get(name[:-6]) == "histogram":
+            counts[(name[:-6], frozenset(labels.items()))] = value
+
+    for (base, labelset), series in sorted(
+        buckets.items(), key=lambda kv: (kv[0][0], sorted(kv[0][1]))
+    ):
+        label_desc = dict(labelset)
+        prev_le, prev_v = None, None
+        for le, v in series:
+            if prev_le is not None and le <= prev_le:
+                problems.append(
+                    f"{base}{label_desc}: le values not increasing"
+                )
+            if prev_v is not None and v < prev_v:
+                problems.append(
+                    f"{base}{label_desc}: bucket counts not monotone"
+                )
+            prev_le, prev_v = le, v
+        if prev_le != float("inf"):
+            problems.append(f"{base}{label_desc}: missing le=\"+Inf\" bucket")
+        have_count = counts.get((base, labelset))
+        if have_count is not None and prev_v is not None and have_count != prev_v:
+            problems.append(
+                f"{base}{label_desc}: _count {have_count} != +Inf bucket {prev_v}"
+            )
+    return problems

@@ -73,6 +73,12 @@ SHIP_FLIGHT_TAIL = 20
 #: Chrome-trace pid offset for worker lanes (control is pid 1).
 WORKER_PID_BASE = 100
 
+#: Flow-id floor for request-scoped arrows (serve verb → interpreter
+#: phase).  Far above any ``seq * (WORKER_PID_BASE + 1) + wid``
+#: dispatch flow id a real run can reach, so the two arrow families
+#: never collide in one document.
+REQUEST_FLOW_BASE = 1_000_000_007
+
 
 # -- worker side -------------------------------------------------------------
 
@@ -247,10 +253,37 @@ def stitch_trace(
     # Control dispatch spans, keyed by batch seq.  Tids here must match
     # chrome_trace's assignment (enumerate over sorted worker names).
     dispatch: Dict[int, Tuple[int, float]] = {}
+    # Request-scoped arrows: each serve-verb span flows to the
+    # interpreter phase spans carrying the same request id ("req" from
+    # repro.obs.context), completing the serve → phase → worker-batch
+    # causal chain (the last hop is the seq-keyed dispatch arrows,
+    # whose dispatch spans nest inside the phase).
+    serve_spans: Dict[str, Tuple[int, float]] = {}
+    phase_hops: List[Tuple[str, int, float]] = []
     for tid, (_worker, spans) in enumerate(sorted(snap.workers.items())):
         for t0, dur, cat, name, args in spans:
             if cat == "mp" and name == "dispatch" and args and "seq" in args:
                 dispatch[args["seq"]] = (tid, (t0 + dur) / 1e3)
+            elif cat == "serve" and args and "req" in args:
+                serve_spans[args["req"]] = (tid, t0 / 1e3)
+            elif (cat == "phase" and name == "match"
+                  and args and "req" in args):
+                phase_hops.append((args["req"], tid, t0 / 1e3))
+    request_flows = 0
+    for req, tid, ts in phase_hops:
+        src = serve_spans.get(req)
+        if src is None:
+            continue
+        flow_id = REQUEST_FLOW_BASE + request_flows
+        events.append(
+            {"name": "request", "cat": "fabric", "ph": "s",
+             "id": flow_id, "pid": 1, "tid": src[0], "ts": src[1]}
+        )
+        events.append(
+            {"name": "request", "cat": "fabric", "ph": "f", "bp": "e",
+             "id": flow_id, "pid": 1, "tid": tid, "ts": ts}
+        )
+        request_flows += 1
 
     orphans = 0
     for wid in sorted(collector.lanes):
@@ -298,11 +331,42 @@ def stitch_trace(
                 )
     other = doc["otherData"]
     other["stitch_orphans"] = orphans
+    other["request_flows"] = request_flows
     other["fabric_lanes"] = len(collector.lanes)
     other["dropped_spans"] = other.get("dropped_spans", 0) + sum(
         lane.dropped for lane in collector.lanes.values()
     )
     return doc, orphans
+
+
+def merge_collectors(
+    collectors: List[Tuple[str, FabricCollector]]
+) -> FabricCollector:
+    """Fold several matchers' collectors into one, re-keying worker
+    lanes with unique wids (and ``label:`` name prefixes) so a server
+    hosting many mp sessions can stitch them all into a single trace.
+    Batch seqs are process-unique (``repro.parallel.mp.engine``'s
+    global counter), so dispatch arrows keep pairing correctly after
+    the merge.  Lanes are shallow-shared, not copied: treat the merged
+    collector as read-only."""
+    merged = FabricCollector()
+    next_wid = 0
+    for label, collector in collectors:
+        for wid in sorted(collector.lanes):
+            lane = collector.lanes[wid]
+            clone = WorkerLane(
+                next_wid, f"{label}:{lane.name}" if label else lane.name
+            )
+            clone.pid = lane.pid
+            clone.spans = lane.spans
+            clone.nodes = lane.nodes
+            clone.counters = lane.counters
+            clone.dropped = lane.dropped
+            clone.ship_batches = lane.ship_batches
+            clone.flight_tail = lane.flight_tail
+            merged.lanes[next_wid] = clone
+            next_wid += 1
+    return merged
 
 
 # -- raw capture round-trip --------------------------------------------------

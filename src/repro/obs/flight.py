@@ -35,8 +35,10 @@ from time import perf_counter_ns, time
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 #: Schema identifier stamped into every snapshot; bump on breaking
-#: changes to the snapshot layout.
-FLIGHT_SCHEMA = "repro.flight/1"
+#: changes to the snapshot layout.  /2 added the ``engines`` metadata
+#: map (engine name -> worker count) so crash dumps from mixed-engine
+#: serve deployments are self-identifying.
+FLIGHT_SCHEMA = "repro.flight/2"
 
 #: Default ring capacity — sized so a stuck engine still shows several
 #: complete recognize-act cycles of context, while the ring itself
@@ -52,6 +54,11 @@ _EVENT = Tuple[int, str, str, Optional[dict]]
 _ring: Deque[_EVENT] = deque(maxlen=DEFAULT_RING_SIZE)
 _recorded_total = 0
 _dump_path: Optional[str] = None
+# Engines that have run in this process (name -> last-seen worker
+# count; sequential engines register 1).  Process identity, not run
+# history: configure()/reset() leave it alone so a snapshot taken
+# after a ring resize still names the engines that fed it.
+_engines: Dict[str, int] = {}
 # Serializes snapshot/configure against concurrent recorders; record()
 # itself stays lock-free (deque.append is atomic under the GIL).
 _snap_lock = threading.Lock()
@@ -73,6 +80,17 @@ def reset() -> None:
     with _snap_lock:
         _ring.clear()
         _recorded_total = 0
+
+
+def note_engine(name: str, workers: int = 1) -> None:
+    """Register an engine running in this process for snapshot
+    metadata.  Called once per matcher construction — last worker
+    count per engine name wins."""
+    _engines[name] = int(workers)
+
+
+def engines() -> Dict[str, int]:
+    return dict(_engines)
 
 
 def record(engine: str, event: str, detail: Optional[dict] = None) -> None:
@@ -112,6 +130,7 @@ def snapshot(reason: str, workers: Optional[Dict[str, List[dict]]] = None) -> Di
         "captured_unix": time(),
         "ring_capacity": _ring.maxlen,
         "recorded_total": _recorded_total,
+        "engines": dict(_engines),
         "events": tail(),
     }
     if workers:
@@ -204,6 +223,13 @@ def validate_flight(doc: Any) -> List[str]:
     ):
         if not isinstance(doc.get(key), types):
             problems.append(f"missing or bad {key!r}")
+    engines_meta = doc.get("engines")
+    if not isinstance(engines_meta, dict):
+        problems.append("missing or bad 'engines'")
+    else:
+        for name, count in engines_meta.items():
+            if not isinstance(name, str) or not isinstance(count, int):
+                problems.append(f"engines[{name!r}]: name->count must be str->int")
     _check_events(doc.get("events"), "events", problems)
     workers = doc.get("workers")
     if workers is not None:

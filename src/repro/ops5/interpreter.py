@@ -27,8 +27,10 @@ from .errors import RuntimeOps5Error
 from .parser import parse_program
 from .rhs import CompiledRHS
 from .wme import WME, WMEChange, WorkingMemory
+from ..obs import context as _context
 from ..obs import events as _obs
 from ..obs import flight as _flight
+from ..obs import meter as _meter
 from ..rete.matcher import SequentialMatcher
 from ..rete.network import ReteNetwork
 from ..rete.token import EMPTY
@@ -276,14 +278,33 @@ class Interpreter:
         self._apply_changes(env.changes)
 
     def _apply_changes(self, changes: List[WMEChange]) -> int:
+        # Phase timing serves two consumers: the bus (spans, opt-in
+        # tracing) and the meter (per-session aggregates, opt-in
+        # accounting).  Either being on pays for the clock reads.
+        obs_on = _obs.ENABLED
+        ctx = _context.current() if (obs_on or _meter.ENABLED) else None
+        meter_on = _meter.ENABLED and ctx is not None
         try:
-            if _obs.ENABLED:
+            if obs_on or meter_on:
                 t0 = _obs.now()
                 deltas = self.matcher.process_changes(changes)
-                _obs.span(
-                    "phase", "match", t0, _obs.now(),
-                    args={"cycle": self.cycle, "changes": len(changes)},
-                )
+                t1 = _obs.now()
+                if obs_on:
+                    _obs.span(
+                        "phase", "match", t0, t1,
+                        args=_context.tag(
+                            {"cycle": self.cycle, "changes": len(changes)}
+                        ),
+                    )
+                if meter_on:
+                    _meter.add_phase(
+                        ctx.session_id, "match", (t1 - t0) * 1e-9,
+                        tenant=ctx.tenant,
+                    )
+                    _meter.add(
+                        ctx.session_id, "wm_changes", len(changes),
+                        tenant=ctx.tenant,
+                    )
             else:
                 deltas = self.matcher.process_changes(changes)
         except Exception as exc:
@@ -333,10 +354,18 @@ class Interpreter:
         if self.halted:
             return None
         obs_on = _obs.ENABLED
-        if obs_on:
+        ctx = _context.current() if (obs_on or _meter.ENABLED) else None
+        meter_on = _meter.ENABLED and ctx is not None
+        if obs_on or meter_on:
             t0 = _obs.now()
             inst = self.strategy.select(self.conflict_set)
-            _obs.span("phase", "select", t0, _obs.now(), args={"cycle": self.cycle})
+            t1 = _obs.now()
+            if obs_on:
+                _obs.span("phase", "select", t0, t1,
+                          args=_context.tag({"cycle": self.cycle}))
+            if meter_on:
+                _meter.add_phase(ctx.session_id, "select", (t1 - t0) * 1e-9,
+                                 tenant=ctx.tenant)
         else:
             inst = self.strategy.select(self.conflict_set)
         if inst is None:
@@ -350,15 +379,23 @@ class Interpreter:
         )
         if self.recorder is not None:
             self.recorder.begin_cycle(production.name, len(production.actions))
-        if obs_on:
+        if obs_on or meter_on:
             t0 = _obs.now()
             env = self._rhs[production.name].execute(
                 self.wm, inst.token, self.input_values
             )
-            _obs.span(
-                "phase", "act", t0, _obs.now(),
-                args={"cycle": self.cycle, "production": production.name},
-            )
+            t1 = _obs.now()
+            if obs_on:
+                _obs.span(
+                    "phase", "act", t0, t1,
+                    args=_context.tag(
+                        {"cycle": self.cycle, "production": production.name}
+                    ),
+                )
+            if meter_on:
+                _meter.add_phase(ctx.session_id, "act", (t1 - t0) * 1e-9,
+                                 tenant=ctx.tenant)
+                _meter.add(ctx.session_id, "firings", tenant=ctx.tenant)
         else:
             env = self._rhs[production.name].execute(
                 self.wm, inst.token, self.input_values

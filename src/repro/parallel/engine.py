@@ -33,8 +33,10 @@ import time
 from time import perf_counter
 from typing import List, Optional
 
+from ..obs import context as _context
 from ..obs import events as _obs
 from ..obs import flight as _flight
+from ..obs import meter as _meter
 from ..obs.watchdog import ProbeSample, StallWatchdog
 from ..ops5.wme import WMEChange
 from ..rete.matcher import SequentialMatcher
@@ -76,6 +78,7 @@ class ParallelMatcher:
         if n_workers < 1:
             raise ValueError("need at least one match process")
         self.network = network
+        _flight.note_engine("threaded", n_workers)
         self.memory = ConjugateMemory(HashMemorySystem(n_lines=n_lines))
         self.line_locks = make_line_locks(lock_scheme, n_lines)
         self.queues = TaskQueueSet(n_queues)
@@ -125,8 +128,21 @@ class ParallelMatcher:
         match_t0 = perf_counter()
         _flight.record("threaded", "batch", {"changes": len(changes)})
         obs_on = _obs.ENABLED
+        meter_on = _meter.ENABLED
         if obs_on:
             batch_t0 = _obs.now()
+        # Request-scoped task meta: worker threads do not inherit the
+        # control thread's contextvar, so capture the active request's
+        # ids here and ride them on every task tuple.  The second slot
+        # is the push timestamp the workers turn into queue-wait
+        # metering; None whenever neither layer is on, so the disabled
+        # path allocates nothing.
+        meta = None
+        if obs_on or meter_on:
+            ids = _context.current_ids()
+            t_push = _obs.now() if meter_on else 0
+            if ids is not None or t_push:
+                meta = (ids, t_push)
         # Per-activation probes (ctx.last_*) are only maintained under
         # `tracing`; flip it with the obs flag so worker node hot-spots
         # carry examined-token counts.  Benign cross-thread write: the
@@ -135,7 +151,10 @@ class ParallelMatcher:
             ctx.tracing = obs_on
         for change in changes:
             self.taskcount.increment()
-            self.queues.push(("change", change.sign, change.wme), home=self._next_home())
+            self.queues.push(
+                ("change", change.sign, change.wme, meta),
+                home=self._next_home(),
+            )
         # The control process becomes idle and waits for the match
         # processes to finish (TaskCount == 0).
         if obs_on:
@@ -149,11 +168,11 @@ class ParallelMatcher:
             t1 = _obs.now()
             _obs.span(
                 "phase", "match.quiesce_wait", wait_t0, t1,
-                args={"changes": len(changes)},
+                args=_context.tag({"changes": len(changes)}),
             )
             _obs.span(
                 "phase", "match.parallel_batch", batch_t0, t1,
-                args={"changes": len(changes)},
+                args=_context.tag({"changes": len(changes)}),
             )
         if self._failures:
             failure = self._failures[0]
@@ -273,6 +292,19 @@ class ParallelMatcher:
                     continue
                 if task[0] == "poison":
                     return
+                meta = task[-1]
+                if meta is not None and meta[1] and _meter.ENABLED:
+                    ids = meta[0]
+                    if ids is not None:
+                        # Queue-wait attribution: push-to-pop latency,
+                        # charged to the request that caused the task.
+                        # Requeued tasks accrue each trip (see
+                        # _push_children's re-stamp).
+                        _meter.add(
+                            ids["session"], "queue_wait_s",
+                            (_obs.now() - meta[1]) * 1e-9,
+                            tenant=ids["tenant"],
+                        )
                 if _obs.ENABLED:
                     self._run_task_obs(ctx, wid, task)
                 elif task[0] == "change":
@@ -290,9 +322,11 @@ class ParallelMatcher:
         """Instrumented twin of the worker dispatch: one span per task
         (the Chrome-trace worker timeline) plus per-node hot-spots."""
         t0 = _obs.now()
+        ids = task[-1][0] if task[-1] is not None else None
         if task[0] == "change":
             self._do_change(ctx, wid, task)
-            _obs.span("task", "wm_change", t0, _obs.now())
+            _obs.span("task", "wm_change", t0, _obs.now(),
+                      args=_context.tag_ids(None, ids))
             return
         act: Activation = task[1]
         n_children = self._do_activation(ctx, wid, task)
@@ -301,7 +335,8 @@ class ParallelMatcher:
         if n_children is None:
             # MRSW told us to requeue; the task was not processed.
             _obs.count("task.requeued")
-            _obs.span("task", "requeue", t0, t1, args={"node": node.node_id})
+            _obs.span("task", "requeue", t0, t1,
+                      args=_context.tag_ids({"node": node.node_id}, ids))
             return
         _obs.node_hit(
             node.node_id,
@@ -310,15 +345,22 @@ class ParallelMatcher:
             ctx.last_opp_examined + ctx.last_same_examined,
             n_children,
         )
-        _obs.span("task", node.kind, t0, t1, args={"node": node.node_id})
+        _obs.span("task", node.kind, t0, t1,
+                  args=_context.tag_ids({"node": node.node_id}, ids))
 
-    def _push_children(self, wid: int, children: List[Activation]) -> None:
+    def _push_children(
+        self, wid: int, children: List[Activation], meta=None
+    ) -> None:
+        if meta is not None and meta[1]:
+            # Re-stamp the push time so child queue-wait measures this
+            # push, not the ancestor's (one tuple per sibling group).
+            meta = (meta[0], _obs.now())
         for child in children:
             self.taskcount.increment()
-            self.queues.push(("act", child), home=self._next_home())
+            self.queues.push(("act", child, meta), home=self._next_home())
 
     def _do_change(self, ctx: MatchContext, wid: int, task) -> None:
-        _kind, sign, wme = task
+        _kind, sign, wme, meta = task
         ctx.stats.wme_changes += 1
         hits, n_tests = self.network.alpha_dispatch(wme)
         ctx.stats.constant_tests += n_tests
@@ -329,17 +371,18 @@ class ParallelMatcher:
             for terminal in hits
             for node, side in terminal.successors
         ]
-        self._push_children(wid, children)
+        self._push_children(wid, children, meta)
 
     def _do_activation(self, ctx: MatchContext, wid: int, task) -> Optional[int]:
         """Process one activation task; returns the number of child
         tasks pushed, or None when MRSW line locking requeued the task
         unprocessed (the observability layer tells these apart)."""
         act: Activation = task[1]
+        meta = task[2]
         node = act.node
         if not node.uses_line():
             children = node.activate(ctx, act)
-            self._push_children(wid, children)
+            self._push_children(wid, children, meta)
             return len(children)
 
         key = node.key_for(act.side, act.token)
@@ -369,5 +412,5 @@ class ParallelMatcher:
                     self.line_locks.exit_modify(line)
         finally:
             self.line_locks.exit(line, act.side)
-        self._push_children(wid, children)
+        self._push_children(wid, children, meta)
         return len(children)

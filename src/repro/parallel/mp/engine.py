@@ -33,14 +33,18 @@ the constructor raises ``RuntimeError``.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import pickle
 import time
 from time import perf_counter
 from typing import Dict, List, Optional
 
+from ...obs import context as _context
 from ...obs import events as _obs
 from ...obs import fabric as _fabric
 from ...obs import flight as _flight
+from ...obs import meter as _meter
 from ...obs.watchdog import ProbeSample, StallWatchdog
 from ...ops5.wme import WMEChange
 from ...rete.network import ReteNetwork
@@ -54,6 +58,14 @@ from .worker import run_worker
 #: enough to leave the CPUs to the match processes, short enough to
 #: keep batch turnaround (and thus cycle latency) low.
 _WAIT_S = 0.0002
+
+#: Process-unique batch sequence numbers, shared by every ProcessMatcher
+#: in this control process.  The seq is the fabric's stitch key pairing
+#: dispatch spans with worker batch spans; a server hosting several mp
+#: sessions merges their lanes into one trace, so per-matcher counters
+#: would collide (two sessions' "seq 1" cross-linking each other's
+#: batches).
+_GLOBAL_SEQ = itertools.count(1)
 
 
 def mp_supported() -> bool:
@@ -92,6 +104,7 @@ class ProcessMatcher:
             )
         self.network = network
         self.n_workers = n_workers
+        _flight.note_engine("mp", n_workers)
         self.shard = ShardMap(n_lines=n_lines, n_workers=n_workers)
         ctx = multiprocessing.get_context("fork")
         self._inboxes = [ctx.SimpleQueue() for _ in range(n_workers)]
@@ -153,34 +166,49 @@ class ProcessMatcher:
             for inbox in self._inboxes:
                 inbox.put(("obs", obs_on, cap))
             self._workers_obs = obs_on
+        meter_on = _meter.ENABLED
+        ctx_ids = _context.current_ids() if (obs_on or meter_on) else None
         if obs_on:
             t0 = _obs.now()
-        self._seq += 1
+        self._seq = next(_GLOBAL_SEQ)
         _flight.record("mp", "dispatch",
                        {"seq": self._seq, "changes": len(changes)})
         payload = [(c.sign, c.wme) for c in changes]
         with self._taskcount.get_lock():
             self._taskcount.value += self.n_workers
+        # The request's ids ride the batch message as a fourth element;
+        # each worker stamps them into its batch span, which is what
+        # gives stitched traces request-scoped worker lanes.
         for inbox in self._inboxes:
-            inbox.put(("changes", self._seq, payload))
+            inbox.put(("changes", self._seq, payload, ctx_ids))
+        if meter_on and ctx_ids is not None:
+            # Batch-granular IPC accounting: one pickle of the payload
+            # stands in for what the pipe actually carried, times the
+            # fan-out (the batch is broadcast to every worker).
+            _meter.add(
+                ctx_ids["session"], "ipc_bytes",
+                len(pickle.dumps(payload)) * self.n_workers,
+                tenant=ctx_ids["tenant"],
+            )
         if obs_on:
             t1 = _obs.now()
             # "seq" is the stitch key pairing this span with the worker
             # batch spans it triggered (repro.obs.fabric).
             _obs.span("mp", "dispatch", t0, t1,
-                      args={"changes": len(changes), "seq": self._seq})
+                      args=_context.tag(
+                          {"changes": len(changes), "seq": self._seq}))
             _obs.count("mp.batches")
             _obs.count("mp.changes", len(changes))
         self._wait_quiescent()
         if obs_on:
             t2 = _obs.now()
             _obs.span("mp", "quiesce_wait", t1, t2)
-        deltas = self._flush()
+        deltas = self._flush(ctx_ids if meter_on else None)
         if obs_on:
             t3 = _obs.now()
             _obs.span("mp", "merge", t2, t3, args={"deltas": len(deltas)})
             _obs.span("mp", "parallel_batch", t0, t3,
-                      args={"changes": len(changes)})
+                      args=_context.tag({"changes": len(changes)}))
         self.match_seconds += perf_counter() - started
         return deltas
 
@@ -222,7 +250,7 @@ class ProcessMatcher:
             f"match process {proc.name} died (exit {proc.exitcode}){detail}"
         )
 
-    def _flush(self) -> List[CSDelta]:
+    def _flush(self, meter_ids: Optional[Dict[str, str]] = None) -> List[CSDelta]:
         for inbox in self._inboxes:
             inbox.put(("flush", self._seq))
         terminals = self.network.terminals
@@ -244,6 +272,14 @@ class ProcessMatcher:
                 continue
             seen += 1
             pending_total += pending
+            if meter_ids is not None:
+                # Reply-direction IPC bytes (deltas + stats + ship),
+                # re-pickled once per worker per batch.
+                _meter.add(
+                    meter_ids["session"], "ipc_bytes",
+                    len(pickle.dumps((payload, stats, counters, ship))),
+                    tenant=meter_ids["tenant"],
+                )
             if ship is not None:
                 self.fabric.absorb(wid, ship)
             self._worker_stats[wid] = stats

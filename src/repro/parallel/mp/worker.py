@@ -8,12 +8,17 @@ process-private, so no locks exist anywhere on the match path.
 
 Message protocol (inbound, one queue per worker):
 
-``("changes", seq, [(sign, wme), ...])``
+``("changes", seq, [(sign, wme), ...], ctx_ids)``
     One WM-change batch, broadcast to every worker.  Each worker runs
     the alpha network over the whole batch (cheap, read-only) and keeps
     exactly the root activations whose line it owns; non-line root
     activations (single-CE terminals) belong to the batch's designated
-    worker so they are processed exactly once.
+    worker so they are processed exactly once.  ``ctx_ids`` (None, or
+    ``{"req", "session", "tenant"}`` from :mod:`repro.obs.context`) is
+    the serve request that caused the batch; workers stamp it into
+    their batch spans so stitched traces stay request-scoped across the
+    process boundary.  Engines older than the field send 3-tuples; the
+    dispatcher tolerates both.
 
 ``("act", node_id, side, sign, wmes)``
     A forwarded activation for a line this worker owns, produced by a
@@ -174,7 +179,7 @@ class _WorkerState:
 
     # -- message handlers ---------------------------------------------------
 
-    def on_changes(self, seq: int, payload) -> None:
+    def on_changes(self, seq: int, payload, ctx_ids=None) -> None:
         obs_on = _obs.ENABLED
         if obs_on:
             t0 = _obs.now()
@@ -208,10 +213,10 @@ class _WorkerState:
         if obs_on:
             # The "seq" arg is the stitch key: the control process's
             # dispatch span for this batch carries the same number.
-            _obs.span(
-                "mp.worker", "batch", t0, _obs.now(),
-                args={"seq": seq, "wid": self.wid, "changes": len(payload)},
-            )
+            args = {"seq": seq, "wid": self.wid, "changes": len(payload)}
+            if ctx_ids is not None:
+                args.update(ctx_ids)
+            _obs.span("mp.worker", "batch", t0, _obs.now(), args=args)
 
     def on_act(self, msg) -> None:
         self.local.append(self.rebuild(msg))
@@ -278,7 +283,8 @@ def run_worker(wid, network, shard, inboxes, outbox, taskcount,
             msg = state.inbox.get()
             kind = msg[0]
             if kind == "changes":
-                state.on_changes(msg[1], msg[2])
+                state.on_changes(msg[1], msg[2],
+                                 msg[3] if len(msg) > 3 else None)
             elif kind == "act":
                 state.on_act(msg)
             elif kind == "flush":

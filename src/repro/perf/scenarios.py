@@ -395,6 +395,47 @@ def _adv_deep_batches(n_per_level: int, n_churn: int):
     return batches
 
 
+def _serve_meter() -> RepResult:
+    """Meter overhead gate: the identical service burst run twice —
+    plain, then with per-session/per-tenant metering on and the
+    sessions split across two tenants.  The headline is the wall-clock
+    ratio (metering is O(1) counter bumps per unit of work, so the
+    ratio should sit inside the noise band); the stable metrics pin
+    down that the metered run actually metered — every transaction
+    landed in a tenant account and the Prometheus exposition parses
+    clean."""
+    from ..obs import meter as _meter
+    from ..obs.export import validate_prometheus
+    from ..serve.loadgen import run_loadgen
+
+    kwargs = dict(scenario="blocks", sessions=3, transactions=6, spawn=True)
+    try:
+        plain = asyncio.run(run_loadgen(**kwargs))
+        metered = asyncio.run(run_loadgen(tenants=2, meter=True, **kwargs))
+    finally:
+        # The spawned server enables the module-global meter; leave the
+        # process clean for whatever scenario runs next.
+        _meter.disable()
+    plain_wall = plain.wall_seconds or 1e-9
+    metered_wall = metered.wall_seconds or 1e-9
+    tenant_accounts = metered.meter.get("tenants", {})
+    meter_txns = sum(
+        a.get("counters", {}).get("txns", 0) for a in tenant_accounts.values()
+    )
+    prom_problems = len(validate_prometheus(metered.prometheus))
+    return RepResult(
+        metrics={
+            "plain_wall_s": plain_wall,
+            "metered_wall_s": metered_wall,
+            "meter_overhead_x": metered_wall / plain_wall,
+            "meter_txns": float(meter_txns),
+            "meter_errors": float(
+                plain.errors + metered.errors + prom_problems
+            ),
+        }
+    )
+
+
 def _corgi_adversarial() -> RepResult:
     """Headline contrast: sequential (eager) Rete vs the corgi lazy
     engine on adversarial cross-product / blocked-chain loads, driven
@@ -623,6 +664,21 @@ _register(Scenario(
         MetricSpec("busy_retries", "count", "lower", 0.0, abs_tol=20.0),
     ),
     run=_serve_loadgen,
+    profiled=False,
+))
+
+_register(Scenario(
+    scenario_id="serve-meter",
+    title="Meter overhead: plain vs metered 2-tenant service burst",
+    suites=("smoke", "full"),
+    specs=(
+        _wall("plain_wall_s"),
+        _wall("metered_wall_s"),
+        MetricSpec("meter_overhead_x", "x", "lower", 0.6, headline=True),
+        _stable("meter_txns", "count", "higher"),
+        _stable("meter_errors", "count", "lower"),
+    ),
+    run=_serve_meter,
     profiled=False,
 ))
 

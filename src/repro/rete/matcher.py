@@ -42,6 +42,7 @@ class SequentialMatcher:
         self.network = network
         self.memory = make_memory(memory, n_lines=n_lines)
         self.stats = MatchStats()
+        _flight.note_engine("sequential", 1)
         self.recorder = recorder
         self.ctx = MatchContext(
             self.memory, self.stats, strict=True, tracing=recorder is not None

@@ -22,6 +22,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs import events as obs_events
+from ..obs import fabric as obs_fabric
 from ..obs.export import write_chrome_trace
 from .limits import ServiceLimits
 from .metrics import nearest_rank
@@ -41,6 +42,7 @@ class SessionRun:
 
     index: int
     session_id: str = ""
+    tenant: str = "default"
     traffic: Optional[Traffic] = None
     firings: List[list] = field(default_factory=list)
     outcomes: Counter = field(default_factory=Counter)
@@ -70,6 +72,9 @@ class LoadReport:
     verified: Optional[bool] = None  # None = verification not requested
     mismatches: List[str] = field(default_factory=list)
     error_samples: List[str] = field(default_factory=list)
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    meter: Dict[str, Any] = field(default_factory=dict)
+    prometheus: str = ""
 
     @property
     def ok(self) -> bool:
@@ -109,6 +114,15 @@ class LoadReport:
                 f"{self.netcache.get('hits', 0)} hits, "
                 f"{self.netcache.get('misses', 0)} misses"
             )
+        if len(self.tenants) > 1:
+            lines.append("  tenants (client-side fairness):")
+            for tenant in sorted(self.tenants):
+                t = self.tenants[tenant]
+                lines.append(
+                    f"    {tenant}: txns={int(t['txns'])} "
+                    f"share={t['share']:.2f} p50={t['p50_ms']:.2f}ms "
+                    f"p95={t['p95_ms']:.2f}ms p99={t['p99_ms']:.2f}ms"
+                )
         if self.verified is not None:
             if self.verified:
                 lines.append(
@@ -156,14 +170,24 @@ class _Client:
 
 
 async def _run_session(
-    host: str, port: int, run: SessionRun
+    host: str,
+    port: int,
+    run: SessionRun,
+    engine: str = "sequential",
+    workers: int = 2,
 ) -> None:
     """Open one session and replay its traffic, sequentially."""
     traffic = run.traffic
     assert traffic is not None
     client = await _Client.connect(host, port)
     try:
-        resp = await client.request({"type": "open", "program": traffic.program})
+        resp = await client.request({
+            "type": "open",
+            "program": traffic.program,
+            "engine": engine,
+            "workers": workers,
+            "tenant": run.tenant,
+        })
         if not resp.get("ok"):
             run.errors.append(f"open failed: {resp.get('error')}")
             return
@@ -262,6 +286,12 @@ async def run_loadgen(
     limits: Optional[ServiceLimits] = None,
     shutdown_after: bool = False,
     trace_path: Optional[str] = None,
+    tenants: int = 1,
+    engine: str = "sequential",
+    workers: int = 2,
+    meter: bool = False,
+    meter_out: Optional[str] = None,
+    prom_out: Optional[str] = None,
 ) -> LoadReport:
     """Drive a server with ``sessions`` concurrent replayed streams.
 
@@ -272,7 +302,16 @@ async def run_loadgen(
     ``trace_path`` enables the :mod:`repro.obs` event bus for the run
     and writes a Chrome-trace JSON file when it finishes; with
     ``spawn=True`` the trace covers the in-process server's engines,
-    not just the client side.
+    not just the client side — and when sessions used the ``mp``
+    engine, the file is the causally-stitched multi-process trace
+    (control + worker lanes + request flow arrows).
+
+    ``tenants`` partitions sessions round-robin into that many tenant
+    labels (``t0..tN-1``); ``engine``/``workers`` pick the match
+    backend each session opens with.  ``meter=True`` enables
+    :mod:`repro.obs.meter` on a spawned server; the snapshot is
+    scraped into ``report.meter`` (and ``meter_out``/``prom_out``
+    write the JSON snapshot / Prometheus exposition to files).
     """
     runs: List[SessionRun] = []
     for i in range(sessions):
@@ -280,20 +319,26 @@ async def run_loadgen(
             traffic = build_from_source(program_source, transactions)
         else:
             traffic = build(scenario, i, transactions, seed)
-        runs.append(SessionRun(index=i, traffic=traffic))
+        tenant = f"t{i % tenants}" if tenants > 1 else "default"
+        runs.append(SessionRun(index=i, tenant=tenant, traffic=traffic))
 
     server: Optional[ReproServer] = None
     if spawn:
-        server = ReproServer(limits=limits)
+        server = ReproServer(limits=limits, meter=meter)
         host, port = await server.start()
     assert host is not None and port is not None
 
+    want_meter = meter or meter_out is not None or prom_out is not None
+    meter_snap: Dict[str, Any] = {}
+    prom_body = ""
     if trace_path is not None:
         obs_events.reset()
         obs_events.enable()
     started = perf_counter()
     try:
-        await asyncio.gather(*(_run_session(host, port, run) for run in runs))
+        await asyncio.gather(
+            *(_run_session(host, port, run, engine, workers) for run in runs)
+        )
         wall = perf_counter() - started
 
         stats: Dict[str, Any] = {}
@@ -302,6 +347,15 @@ async def run_loadgen(
             resp = await client.request({"type": "stats"})
             if resp.get("ok"):
                 stats = resp
+            if want_meter:
+                resp = await client.request({"type": "meter"})
+                if resp.get("ok"):
+                    meter_snap = resp.get("meter", {})
+                resp = await client.request(
+                    {"type": "stats", "format": "prometheus"}
+                )
+                if resp.get("ok"):
+                    prom_body = resp.get("body", "")
             if shutdown_after:
                 await client.request({"type": "shutdown"})
             await client.close()
@@ -311,7 +365,7 @@ async def run_loadgen(
         if server is not None:
             await server.shutdown()
         if trace_path is not None:
-            write_chrome_trace(trace_path, obs_events.snapshot())
+            _write_trace(trace_path, obs_events.snapshot(), server)
             obs_events.disable()
 
     report = LoadReport(
@@ -340,6 +394,65 @@ async def run_loadgen(
         }
     report.netcache = stats.get("netcache", {})
     report.server = stats.get("server", {})
+    report.tenants = _tenant_summary(runs, report.txns_ok)
+    report.meter = meter_snap
+    report.prometheus = prom_body
+    if meter_out is not None:
+        with open(meter_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "schema": "repro.meter/1",
+                    "meter": meter_snap,
+                    "loadgen": {
+                        "latency": report.latency,
+                        "tenants": report.tenants,
+                        "wall_seconds": report.wall_seconds,
+                    },
+                },
+                fh,
+                indent=2,
+            )
+    if prom_out is not None:
+        with open(prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prom_body)
     if verify:
         report.verified, report.mismatches = verify_runs(runs)
     return report
+
+
+def _tenant_summary(
+    runs: List[SessionRun], txns_total: int
+) -> Dict[str, Dict[str, float]]:
+    """Client-observed fairness: per-tenant transaction counts, share
+    of total throughput, and latency percentiles — the numbers the
+    server-side meter must reconcile against."""
+    by_tenant: Dict[str, List[float]] = {}
+    for run in runs:
+        by_tenant.setdefault(run.tenant, []).extend(run.latencies)
+    out: Dict[str, Dict[str, float]] = {}
+    for tenant, lats in by_tenant.items():
+        ordered = sorted(lats)
+        n = len(ordered)
+        out[tenant] = {
+            "txns": float(n),
+            "share": n / txns_total if txns_total else 0.0,
+            "p50_ms": nearest_rank(ordered, 50) * 1e3 if n else 0.0,
+            "p95_ms": nearest_rank(ordered, 95) * 1e3 if n else 0.0,
+            "p99_ms": nearest_rank(ordered, 99) * 1e3 if n else 0.0,
+        }
+    return out
+
+
+def _write_trace(
+    trace_path: str, snap: Any, server: Optional[ReproServer]
+) -> None:
+    """Plain Chrome trace, or — when the in-process server retired mp
+    fabric collectors — the causally-stitched multi-process document."""
+    collectors = list(server.retired_fabric) if server is not None else []
+    if collectors:
+        merged = obs_fabric.merge_collectors(collectors)
+        doc, _orphans = obs_fabric.stitch_trace(snap, merged)
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    else:
+        write_chrome_trace(trace_path, snap)

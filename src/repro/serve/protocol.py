@@ -10,13 +10,16 @@ Requests
 --------
 
 ``{"id": .., "type": "open", "program": "<ops5 text>", "strategy"?: "lex"|"mea",
-   "engine"?: "sequential"|"threaded"|"mp"|"corgi", "workers"?: int}``
+   "engine"?: "sequential"|"threaded"|"mp"|"corgi", "workers"?: int,
+   "tenant"?: str}``
     Compile (or reuse from the network cache) and open a session.
     ``engine`` picks the match backend (default ``sequential``);
     ``workers`` (1..16, default 2) sizes the ``threaded``/``mp``
     engines and is ignored for ``sequential``/``corgi``.  Opening with
     ``engine: "mp"`` on a host without the ``fork`` start method is
-    rejected with ``bad_request``.
+    rejected with ``bad_request``.  ``tenant`` (non-empty string,
+    default ``"default"``) labels the session for per-tenant metering
+    and request-scoped tracing (:mod:`repro.obs.meter`).
     → ``{"ok": true, "session": "s1", "cached": bool, "key": "<hash>"}``
 
 ``{"id": .., "type": "transact", "session": .., "ops": [..],
@@ -34,7 +37,18 @@ Requests
     Server-wide counters, netcache stats, and per-session detail.
     With ``"format": "prometheus"`` (server-wide only) the response is
     ``{"ok": true, "format": "prometheus", "body": "<exposition text>"}``
-    — the same counters rendered for a scraper.
+    — the same counters rendered for a scraper; on a metered server
+    the body additionally carries the ``repro_meter_*`` families
+    (per-scope counters and per-tenant latency histograms with trace
+    exemplars).
+
+``{"id": .., "type": "meter"}``
+    The metering snapshot (``repro.meter/1``): per-session and
+    per-tenant counters (match/select/act seconds, firings, WM
+    changes, queue wait, IPC bytes, rejections, dropped events),
+    latency histograms with exemplars, percentiles, and SLO burn
+    rates.  → ``{"ok": true, "enabled": bool, "meter": {..}}``; an
+    unmetered server answers ``enabled: false`` with empty accounts.
 
 ``{"id": .., "type": "profile", "session"?: ..}``
     Live engine profiles.  Per session: match-engine statistics
@@ -47,7 +61,7 @@ Requests
 ``{"id": .., "type": "dump"}``
     Flight-recorder snapshot of the server process — the always-on
     ring of recent engine events (see :mod:`repro.obs.flight`) — plus
-    event-bus health.  → ``{"ok": true, "flight": {<repro.flight/1
+    event-bus health.  → ``{"ok": true, "flight": {<repro.flight/2
     snapshot>}, "obs_enabled": bool, "dropped_events": n}``.  Cheap
     enough for a crash-time grab: no tracing needs to be enabled.
 

@@ -20,7 +20,9 @@ from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
 from ..engines import ENGINE_NAMES, mp_supported
+from ..obs import context as obs_context
 from ..obs import events as obs_events
+from ..obs import meter as obs_meter
 from ..obs import profile as obs_profile
 from ..obs.export import prometheus_text
 from ..ops5.errors import Ops5Error
@@ -59,6 +61,8 @@ class ReproServer:
         port: int = 0,
         limits: Optional[ServiceLimits] = None,
         mode: str = "compiled",
+        meter: bool = False,
+        slo: Optional[list] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -71,6 +75,16 @@ class ReproServer:
         self._next_session = 1
         self._draining = False
         self._stop: Optional[asyncio.Event] = None
+        #: Fabric collectors of closed mp sessions, kept so a loadgen
+        #: run can stitch one trace covering every session's workers
+        #: after shutdown — (session_id, FabricCollector) pairs.
+        self.retired_fabric: list = []
+        self.meter_enabled = meter
+        if meter:
+            # Metering is process-global (the engines report into the
+            # same module the sessions register with); a fresh epoch per
+            # server keeps counters scoped to this server's lifetime.
+            obs_meter.enable(slo)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -109,6 +123,7 @@ class ReproServer:
             else:
                 session.closing = True
                 session.core.close()
+            self._retire_fabric(session)
             self.metrics.sessions_closed += 1
         self.sessions.clear()
         # Reap connection handlers: clients that already hung up finish
@@ -196,13 +211,28 @@ class ReproServer:
         if rtype == "transact":
             # Stage synchronously (ordering!), then await completion.
             start = perf_counter()
-            fut = self._stage_transact(msg)
+            obs_on = obs_events.ENABLED
+            t0 = obs_events.now() if obs_on else 0
+            fut, ctx = self._stage_transact(msg)
             try:
                 result = await fut
             except BudgetError as exc:
                 raise ProtocolError(E_BUDGET, str(exc))
             except TransactionError as exc:
                 raise ProtocolError(E_TXN, str(exc))
+            finally:
+                if obs_on:
+                    # The serve-verb span: the root of the request's
+                    # causal chain in a stitched trace, and groupable
+                    # by session in Perfetto queries.
+                    outcome = (
+                        "error" if fut.cancelled() or fut.exception()
+                        else fut.result().outcome
+                    )
+                    obs_events.span(
+                        "serve", "transact", t0, obs_events.now(),
+                        args=dict(ctx.ids(), outcome=outcome),
+                    )
             self.metrics.cycles += result.cycles
             self.metrics.firings += len(result.firings)
             self.metrics.transactions += 1
@@ -225,6 +255,8 @@ class ReproServer:
             return self._handle_profile(msg)
         if rtype == "dump":
             return self._handle_dump(msg)
+        if rtype == "meter":
+            return self._handle_meter(msg)
         if rtype == "close":
             return await self._handle_close(msg)
         if rtype == "ping":
@@ -241,7 +273,9 @@ class ReproServer:
             raise ProtocolError(E_UNKNOWN_SESSION, f"no session {sid!r}")
         return session
 
-    def _stage_transact(self, msg: Dict[str, Any]) -> "asyncio.Future":
+    def _stage_transact(
+        self, msg: Dict[str, Any]
+    ) -> Tuple["asyncio.Future", obs_context.RequestContext]:
         if self._draining:
             raise ProtocolError(E_SHUTTING_DOWN, "server is draining")
         session = self._session_for(msg)
@@ -254,8 +288,14 @@ class ReproServer:
         deadline_ms = msg.get("deadline_ms")
         if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
             raise ProtocolError(E_BAD_REQUEST, "deadline_ms must be a number")
+        # Every transact gets a request context; the session worker
+        # activates it around the transaction so spans and meter
+        # counters attribute to this request end to end.
+        ctx = obs_context.new_request(
+            session_id=session.session_id, tenant=session.core.tenant
+        )
         try:
-            return session.submit(ops, max_cycles, deadline_ms)
+            return session.submit(ops, max_cycles, deadline_ms, ctx=ctx), ctx
         except Busy as exc:
             self.metrics.rejected_busy += 1
             raise ProtocolError(
@@ -284,6 +324,11 @@ class ReproServer:
             raise ProtocolError(
                 E_BAD_REQUEST, "workers must be an integer in 1..16"
             )
+        tenant = msg.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(
+                E_BAD_REQUEST, "tenant must be a non-empty string"
+            )
         if engine == "mp" and not mp_supported():
             raise ProtocolError(
                 E_BAD_REQUEST,
@@ -310,7 +355,7 @@ class ReproServer:
         self._next_session += 1
         core = SessionCore(
             sid, entry, limits=self.limits, strategy=strategy,
-            engine=engine, engine_opts=engine_opts,
+            engine=engine, engine_opts=engine_opts, tenant=tenant,
         )
         session = Session(core)
         session.start()
@@ -318,10 +363,20 @@ class ReproServer:
         self.metrics.sessions_opened += 1
         return ok_response(req_id, session=sid, cached=cached, key=entry.key)
 
+    def _retire_fabric(self, session: Session) -> None:
+        """Keep a closed mp session's fabric collector so one stitched
+        trace can still cover its workers after the engine is gone."""
+        if session.core.engine != "mp":
+            return
+        fabric = getattr(session.core.interp.matcher, "fabric", None)
+        if fabric is not None and fabric.lanes:
+            self.retired_fabric.append((session.session_id, fabric))
+
     async def _handle_close(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session_for(msg)
         self.sessions.pop(session.session_id, None)
         drained = await session.drain()
+        self._retire_fabric(session)
         self.metrics.sessions_closed += 1
         return ok_response(
             msg.get("id"), closed=session.session_id, drained=drained
@@ -347,6 +402,7 @@ class ReproServer:
                     "enabled": obs_events.enabled(),
                     "dropped_events": obs_events.dropped_total(),
                 },
+                meter=obs_meter.snapshot() if obs_meter.ENABLED else None,
             )
             return ok_response(req_id, format="prometheus", body=text)
         return ok_response(
@@ -369,6 +425,18 @@ class ReproServer:
             flight=doc,
             obs_enabled=obs_events.enabled(),
             dropped_events=obs_events.dropped_total(),
+        )
+
+    def _handle_meter(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """The metering snapshot: per-session and per-tenant counters,
+        latency histograms with exemplars, and SLO burn rates
+        (:func:`repro.obs.meter.snapshot`).  Answered even when
+        metering is off — ``enabled: false`` with empty account maps —
+        so scrapers need no capability probe."""
+        return ok_response(
+            msg.get("id"),
+            enabled=obs_meter.ENABLED,
+            meter=obs_meter.snapshot(),
         )
 
     def _handle_profile(self, msg: Dict[str, Any]) -> Dict[str, Any]:

@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from time import monotonic, perf_counter
 from typing import List, Optional, Sequence
 
+from ..obs import context as _context
+from ..obs import events as _events
+from ..obs import meter as _meter
 from ..ops5.interpreter import Firing, Interpreter, TransactionError, WMOp
 from .limits import BudgetError, ServiceLimits
 from .metrics import SessionCounters
@@ -64,12 +67,15 @@ class SessionCore:
         strategy: str = "lex",
         engine: str = "sequential",
         engine_opts: Optional[dict] = None,
+        tenant: str = "default",
     ) -> None:
         self.session_id = session_id
         self.entry = entry
         self.limits = limits or ServiceLimits()
         self.counters = SessionCounters()
         self.engine = engine
+        self.tenant = tenant
+        _meter.register_session(session_id, tenant)
         self.interp = Interpreter(
             entry.program,
             strategy=strategy,
@@ -105,7 +111,16 @@ class SessionCore:
             self.limits.check_ops_count(len(ops))
         except BudgetError:
             counters.rejected_budget += 1
+            if _meter.ENABLED:
+                _meter.add(self.session_id, "rejected_budget",
+                           tenant=self.tenant)
             raise
+        # Attribute obs-bus span drops to the request running while
+        # they happened (only measurable when both layers are on).
+        drops_before = (
+            _events.dropped_total()
+            if (_meter.ENABLED and _events.ENABLED) else None
+        )
         start = perf_counter()
         try:
             created = self.interp.apply_transaction(ops)
@@ -115,6 +130,11 @@ class SessionCore:
         before = self.interp.cycle
         part = self.interp.run_cycles(budget, deadline=deadline)
         elapsed = perf_counter() - start
+        if drops_before is not None:
+            dropped = _events.dropped_total() - drops_before
+            if dropped:
+                _meter.add(self.session_id, "dropped_events", dropped,
+                           tenant=self.tenant)
 
         counters.transactions += 1
         counters.wm_ops += len(ops)
@@ -189,19 +209,31 @@ class Session:
         ops: Sequence[WMOp],
         max_cycles: Optional[int] = None,
         deadline_ms: Optional[float] = None,
+        ctx: Optional[_context.RequestContext] = None,
     ) -> "asyncio.Future[TxnResult]":
         """Enqueue one transaction; the future resolves when it ran.
 
         Never awaits before enqueueing, so callers that submit
-        back-to-back get back-to-back execution order.
+        back-to-back get back-to-back execution order.  ``ctx`` is the
+        request context the worker activates around the transaction
+        (request-scoped spans + meter attribution).
         """
+        core = self.core
         if self.closing:
+            if _meter.ENABLED:
+                _meter.add(core.session_id, "rejected_busy",
+                           tenant=core.tenant)
             raise Busy(self._retry_after_ms)
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._inbox.put_nowait((ops, max_cycles, deadline_ms, fut))
+            self._inbox.put_nowait(
+                (perf_counter(), ctx, ops, max_cycles, deadline_ms, fut)
+            )
         except asyncio.QueueFull:
-            self.core.counters.rejected_busy += 1
+            core.counters.rejected_busy += 1
+            if _meter.ENABLED:
+                _meter.add(core.session_id, "rejected_busy",
+                           tenant=core.tenant)
             raise Busy(self._retry_after_ms) from None
         return fut
 
@@ -210,15 +242,35 @@ class Session:
             item = await self._inbox.get()
             if item is _CLOSE:
                 break
-            ops, max_cycles, deadline_ms, fut = item
+            t_submit, ctx, ops, max_cycles, deadline_ms, fut = item
+            core = self.core
+            meter_on = _meter.ENABLED
+            if meter_on:
+                # Inbox wait is part of what the client experiences;
+                # account it separately from execution time.
+                _meter.add(core.session_id, "queue_wait_s",
+                           perf_counter() - t_submit, tenant=core.tenant)
+            token = _context.activate(ctx) if ctx is not None else None
             try:
-                result = self.core.transact(ops, max_cycles, deadline_ms)
+                result = core.transact(ops, max_cycles, deadline_ms)
             except BaseException as exc:  # delivered to the waiter
                 if not fut.cancelled():
                     fut.set_exception(exc)
             else:
                 if not fut.cancelled():
                     fut.set_result(result)
+                if meter_on:
+                    # Meter latency is submit→done (inbox wait + exec),
+                    # the client-observed quantity loadgen reconciles
+                    # against; SessionCounters.latency stays exec-only.
+                    _meter.txn(
+                        core.session_id, perf_counter() - t_submit,
+                        request_id=ctx.request_id if ctx is not None else "",
+                        tenant=core.tenant,
+                    )
+            finally:
+                if token is not None:
+                    _context.deactivate(token)
             # Fairness: let other sessions' workers run between txns.
             await asyncio.sleep(0)
 

@@ -1,0 +1,154 @@
+"""Request-scoped context: propagation, tagging, engine flow-through.
+
+The context rides a ``ContextVar``, which does NOT cross thread or
+process boundaries by itself — the engine tests here pin down the
+explicit hand-off (task-tuple stamps for threaded workers) that makes
+request tags appear on worker spans anyway.
+"""
+
+import pytest
+
+from repro.obs import context
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_context():
+    assert context.current() is None
+    yield
+    assert context.current() is None
+
+
+class TestRequestContext:
+    def test_new_request_mints_fresh_ids(self):
+        a = context.new_request(session_id="s1", tenant="acme")
+        b = context.new_request(session_id="s1", tenant="acme")
+        assert a.request_id != b.request_id
+        assert a.request_id.startswith("r")
+        assert a.session_id == "s1"
+        assert a.tenant == "acme"
+
+    def test_ids_has_exactly_the_ctx_keys(self):
+        ctx = context.new_request(session_id="s9", tenant="t")
+        ids = ctx.ids()
+        assert set(ids) == set(context.CTX_KEYS)
+        assert ids["req"] == ctx.request_id
+        assert ids["session"] == "s9"
+        assert ids["tenant"] == "t"
+
+    def test_default_tenant(self):
+        ctx = context.new_request(session_id="s")
+        assert ctx.tenant == context.DEFAULT_TENANT
+
+
+class TestActivation:
+    def test_activate_deactivate(self):
+        ctx = context.new_request(session_id="s1")
+        token = context.activate(ctx)
+        try:
+            assert context.current() is ctx
+            assert context.current_ids() == ctx.ids()
+        finally:
+            context.deactivate(token)
+        assert context.current() is None
+        assert context.current_ids() is None
+
+    def test_scope_restores_on_exit(self):
+        outer = context.new_request(session_id="outer")
+        inner = context.new_request(session_id="inner")
+        with context.scope(outer):
+            with context.scope(inner):
+                assert context.current() is inner
+            assert context.current() is outer
+
+    def test_scope_restores_on_exception(self):
+        ctx = context.new_request(session_id="s")
+        with pytest.raises(RuntimeError):
+            with context.scope(ctx):
+                raise RuntimeError("boom")
+        assert context.current() is None
+
+
+class TestTagging:
+    def test_tag_without_context_returns_args_untouched(self):
+        args = {"cycle": 3}
+        assert context.tag(args) is args
+        assert args == {"cycle": 3}
+
+    def test_tag_merges_active_ids(self):
+        ctx = context.new_request(session_id="s2", tenant="acme")
+        with context.scope(ctx):
+            args = context.tag({"cycle": 1})
+        assert args["cycle"] == 1
+        assert args["req"] == ctx.request_id
+        assert args["session"] == "s2"
+        assert args["tenant"] == "acme"
+
+    def test_tag_ids_explicit(self):
+        ids = {"req": "r77", "session": "sX", "tenant": "tX"}
+        args = context.tag_ids({"node": 4}, ids)
+        assert args["req"] == "r77"
+        assert args["node"] == 4
+
+    def test_tag_ids_none_is_passthrough(self):
+        args = {"node": 4}
+        assert context.tag_ids(args, None) is args
+
+
+class TestEngineFlowThrough:
+    PROGRAM = """
+    (literalize item n)
+    (p bump
+      (item ^n <n>)
+      -->
+      (remove 1))
+    (p seed
+      (start)
+      -->
+      (make item ^n 1)
+      (make item ^n 2)
+      (remove 1))
+    """
+
+    def _run(self, obs, engine_kwargs):
+        from repro.ops5.interpreter import Interpreter, WMOp
+
+        ctx = context.new_request(session_id="sess-e", tenant="ten-e")
+        interp = Interpreter(self.PROGRAM, **engine_kwargs)
+        try:
+            with context.scope(ctx):
+                interp.apply_transaction([WMOp.make("start", {})])
+                interp.run_cycles(50)
+        finally:
+            interp.close()
+        return ctx, obs.snapshot()
+
+    def test_phase_spans_carry_request_ids(self, obs):
+        ctx, snap = self._run(obs, {})
+        phases = snap.spans_by_cat("phase")
+        tagged = [s for s in phases if s[4].get("req") == ctx.request_id]
+        assert tagged, "no phase span carried the request id"
+        assert all(s[4]["session"] == "sess-e" for s in tagged)
+        assert all(s[4]["tenant"] == "ten-e" for s in tagged)
+
+    def test_threaded_worker_task_spans_carry_request_ids(self, obs):
+        ctx, snap = self._run(
+            obs, {"engine": "threaded", "engine_opts": {"n_workers": 2}}
+        )
+        tasks = snap.spans_by_cat("task")
+        assert tasks
+        tagged = [s for s in tasks if s[4].get("req") == ctx.request_id]
+        assert tagged, "no worker task span carried the request id"
+        assert all(s[4]["tenant"] == "ten-e" for s in tagged)
+
+    def test_no_context_no_tags(self, obs):
+        from repro.ops5.interpreter import Interpreter
+
+        interp = Interpreter(self.PROGRAM)
+        try:
+            interp.run(max_cycles=20)
+        finally:
+            interp.close()
+        snap = obs.snapshot()
+        phases = snap.spans_by_cat("phase")
+        assert phases
+        assert not any("req" in s[4] for s in phases)

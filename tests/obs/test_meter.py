@@ -1,0 +1,202 @@
+"""The meter: histogram/exemplar semantics, dual-account bookkeeping,
+SLO burn rates, and the Prometheus exposition round-trip."""
+
+import pytest
+
+from repro.obs import meter
+from repro.obs.export import prometheus_text, validate_prometheus
+from repro.obs.meter import (
+    BUCKETS_MS,
+    Histogram,
+    Meter,
+    MeterAccount,
+    SLObjective,
+    parse_objective,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_meter():
+    meter.disable()
+    meter.reset()
+    yield
+    meter.disable()
+    meter.reset()
+
+
+class TestHistogram:
+    def test_buckets_and_inf(self):
+        h = Histogram()
+        h.observe(0.5)       # le=1
+        h.observe(30.0)      # le=50
+        h.observe(9999.0)    # +Inf
+        assert h.total == 3
+        assert h.counts[0] == 1
+        assert h.counts[BUCKETS_MS.index(50.0)] == 1
+        assert h.inf_count == 1
+        cum = h.cumulative()
+        assert cum[-1] == 3
+        assert cum == sorted(cum)  # monotone
+
+    def test_under_ms_bucket_resolution(self):
+        h = Histogram()
+        for v in (0.5, 3.0, 40.0, 400.0):
+            h.observe(v)
+        assert h.under_ms(250.0) == 3
+        assert h.under_ms(1.0) == 1
+
+    def test_exemplar_keeps_last_per_bucket(self):
+        h = Histogram()
+        h.observe(30.0, request_id="r1")
+        h.observe(40.0, request_id="r2")
+        idx = BUCKETS_MS.index(50.0)
+        value, rid, unix = h.exemplars[idx]
+        assert (value, rid) == (40.0, "r2")
+        assert unix > 0
+
+    def test_no_request_id_no_exemplar(self):
+        h = Histogram()
+        h.observe(30.0)
+        assert not h.exemplars
+
+
+class TestAccount:
+    def test_percentiles_nearest_rank(self):
+        acct = MeterAccount()
+        for ms in range(1, 101):  # 1..100 ms
+            acct.observe_txn(ms / 1e3)
+        p = acct.percentiles()
+        assert p["p50_ms"] == pytest.approx(50.0)
+        assert p["p95_ms"] == pytest.approx(95.0)
+        assert p["p99_ms"] == pytest.approx(99.0)
+
+    def test_slo_burn_rate(self):
+        acct = MeterAccount()
+        # 96 good (under 100ms at bucket resolution), 4 bad => 4%
+        # violations against a 1% budget: burn 4x.
+        for _ in range(96):
+            acct.observe_txn(0.010)
+        for _ in range(4):
+            acct.observe_txn(0.400)
+        [rep] = acct.slo_report([SLObjective("p99", 100.0, 0.99)])
+        assert rep["total"] == 100
+        assert rep["good"] == 96
+        assert rep["burn_rate"] == pytest.approx(4.0)
+        assert rep["met"] is False
+
+    def test_slo_met_with_zero_burn(self):
+        acct = MeterAccount()
+        for _ in range(10):
+            acct.observe_txn(0.001)
+        [rep] = acct.slo_report([SLObjective("p99", 100.0, 0.99)])
+        assert rep["burn_rate"] == 0.0
+        assert rep["met"] is True
+
+    def test_empty_account_meets_slo(self):
+        acct = MeterAccount()
+        [rep] = acct.slo_report([SLObjective("p99", 100.0, 0.99)])
+        assert rep["achieved"] == 1.0
+        assert rep["met"] is True
+
+
+class TestMeterBookkeeping:
+    def test_every_quantity_lands_in_session_and_tenant(self):
+        m = Meter()
+        m.register_session("s1", "acme")
+        m.register_session("s2", "acme")
+        m.add("s1", "match_s", 0.25)
+        m.add("s2", "match_s", 0.75)
+        m.observe_txn("s1", 0.010, request_id="r1")
+        doc = m.to_json()
+        assert doc["sessions"]["s1"]["counters"]["match_s"] == 0.25
+        assert doc["tenants"]["acme"]["counters"]["match_s"] == 1.0
+        assert doc["tenants"]["acme"]["counters"]["txns"] == 1
+
+    def test_unregistered_session_defaults_tenant(self):
+        m = Meter()
+        m.add("ghost", "firings")
+        assert m.to_json()["tenants"]["default"]["counters"]["firings"] == 1
+
+    def test_explicit_tenant_overrides_registration(self):
+        m = Meter()
+        m.register_session("s1", "acme")
+        m.add("s1", "ipc_bytes", 100, tenant="umbrella")
+        doc = m.to_json()
+        assert doc["tenants"]["umbrella"]["counters"]["ipc_bytes"] == 100
+
+    def test_module_enable_starts_fresh_epoch(self):
+        meter.enable()
+        meter.add("s1", "firings")
+        assert meter.snapshot()["sessions"]["s1"]["counters"]["firings"] == 1
+        meter.enable()  # fresh epoch
+        assert "s1" not in meter.snapshot()["sessions"]
+
+    def test_disabled_meter_drops_everything(self):
+        meter.add("s1", "firings")
+        meter.txn("s1", 0.001)
+        snap = meter.snapshot()
+        assert snap["enabled"] is False
+        assert not snap["sessions"]
+
+    def test_enable_with_custom_objectives(self):
+        meter.enable([SLObjective("fast", 10.0, 0.9)])
+        snap = meter.snapshot()
+        assert snap["objectives"] == [
+            {"name": "fast", "target_ms": 10.0, "goal": 0.9}
+        ]
+
+
+class TestParseObjective:
+    def test_roundtrip(self):
+        obj = parse_objective("txn_p99:250:0.99")
+        assert obj == SLObjective("txn_p99", 250.0, 0.99)
+
+    @pytest.mark.parametrize("spec", [
+        "nope", "a:b:c", ":250:0.99", "x:0:0.5", "x:10:1.5", "x:10:0",
+    ])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_objective(spec)
+
+
+class TestPrometheusExposition:
+    def _metered_snapshot(self):
+        meter.enable()
+        meter.register_session("s1", "t0")
+        meter.register_session("s2", "t1")
+        meter.add("s1", "match_s", 0.125)
+        meter.add("s1", "rejected_busy")
+        meter.add("s2", "ipc_bytes", 4096)
+        meter.txn("s1", 0.030, request_id="r1")
+        meter.txn("s2", 0.300, request_id="r2")
+        return meter.snapshot()
+
+    def test_exposition_validates_clean(self):
+        text = prometheus_text(
+            {"uptime_s": 1.0}, {}, {}, meter=self._metered_snapshot()
+        )
+        assert validate_prometheus(text) == []
+
+    def test_meter_families_and_exemplars_present(self):
+        text = prometheus_text(
+            {"uptime_s": 1.0}, {}, {}, meter=self._metered_snapshot()
+        )
+        assert 'repro_meter_match_seconds_total{scope="tenant",id="t0"}' in text
+        assert 'repro_meter_rejected_busy_total{scope="session",id="s1"}' in text
+        assert "repro_meter_txn_latency_ms_bucket" in text
+        assert '# {request_id="r2"}' in text
+
+    def test_validator_catches_nonmonotone_buckets(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{tenant="t",le="1"} 5\n'
+            'h_bucket{tenant="t",le="2"} 3\n'
+            'h_bucket{tenant="t",le="+Inf"} 5\n'
+            'h_sum{tenant="t"} 1.0\n'
+            'h_count{tenant="t"} 5\n'
+        )
+        assert validate_prometheus(bad)
+
+    def test_validator_catches_exemplar_off_bucket(self):
+        bad = 'repro_server_uptime_seconds 1.0 # {request_id="r1"} 1.0\n'
+        assert validate_prometheus(bad)

@@ -28,6 +28,7 @@ class TestRegistryIntegrity:
         assert set(select("smoke")) == {
             "match-weaver", "sim-weaver", "parallel-weaver", "serve-loadgen",
             "mp-speedup-weaver", "corgi-adversarial", "fabric-mp",
+            "serve-meter",
         }
 
     def test_full_suite_superset_of_smoke(self):
