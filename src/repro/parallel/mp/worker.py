@@ -22,7 +22,11 @@ Message protocol (inbound, one queue per worker):
 
 ``("act", node_id, side, sign, wmes)``
     A forwarded activation for a line this worker owns, produced by a
-    peer whose join emitted a child token landing on our shard.
+    peer whose join emitted a child token landing on our shard.  Peer
+    and control process write the same inbox pipe, so an act may
+    overtake the ``("changes", ...)`` broadcast it belongs to; that is
+    legal — intra-batch order is commutative — and the overtaken
+    batch message is deferred, never dropped.
 
 ``("flush", seq)``
     Sent by the control process only at quiescence (TaskCount == 0, so
@@ -64,8 +68,11 @@ from ..conjugate import ConjugateMemory
 from .shard import ShardMap
 
 #: How many locally-queued activations are processed between inbox
-#: polls.  Polling keeps the OS pipe drained so two workers forwarding
-#: heavily to each other cannot both block on a full pipe.
+#: polls.  Periodic polling bounds forwarded-task latency; the actual
+#: deadlock freedom comes from :meth:`_WorkerState.route_child`
+#: absorbing the inbox before every forward, so a worker never blocks
+#: writing to a peer while its own pipe holds that peer's pending
+#: write.
 POLL_EVERY = 64
 
 
@@ -86,6 +93,13 @@ class _WorkerState:
         #: Forwarded tasks absorbed mid-drain; their TaskCount units are
         #: released together with the batch unit after the drain.
         self.borrowed = 0
+        #: Non-act messages pulled off the pipe mid-drain, replayed by
+        #: the main loop in arrival order once the drain completes.  A
+        #: peer's forwarded act for batch N can land in our pipe ahead
+        #: of the control process's ("changes", N) broadcast — two
+        #: producers, one pipe — so a drain triggered by that act may
+        #: find the batch message behind it.
+        self.deferred: List[tuple] = []
         self.stopping = False
         #: Per-flush-window IPC counters (reset after every flush reply).
         self.counters: Dict[str, int] = {
@@ -114,6 +128,15 @@ class _WorkerState:
         if owner == self.wid:
             self.local.append(act)
         else:
+            # Drain our own pipe before the potentially-blocking write
+            # into the peer's.  Two workers forwarding heavily to each
+            # other can otherwise fill both pipes and block forever in
+            # `put` (the rubik hang: both processes in pipe_write,
+            # TaskCount frozen).  Emptying our inbox first completes
+            # the peer's pending write, so at most one side is ever
+            # durably blocked and the other always reaches its next
+            # absorb point.
+            self.absorb_inbox()
             self._count_add(1)
             self.counters["tasks_forwarded"] += 1
             self.counters["ipc_msgs"] += 1
@@ -159,9 +182,16 @@ class _WorkerState:
                 self.tasks_done.value += processed
 
     def absorb_inbox(self) -> None:
-        """Pull any forwarded activations waiting on our pipe.  A flush
-        cannot arrive here (it is only sent at TaskCount == 0, and we
-        hold at least one undecremented unit while draining)."""
+        """Pull any forwarded activations waiting on our pipe.
+
+        Activations are absorbed immediately — intra-batch activation
+        order is commutative (count-folded CS deltas, conjugate token
+        memory), so running one early is always safe.  Anything else
+        (a racing ``changes`` broadcast the act outran, an ``obs``
+        toggle) is deferred to the main loop: those must run between
+        drains, not inside one.  A ``flush`` can never appear here —
+        it is only sent at TaskCount == 0, and we hold at least one
+        undecremented unit while draining."""
         while not self.inbox.empty():
             msg = self.inbox.get()
             if msg[0] == "act":
@@ -169,8 +199,8 @@ class _WorkerState:
                 self.borrowed += 1
             elif msg[0] == "stop":
                 self.stopping = True
-            else:  # pragma: no cover - protocol violation
-                raise RuntimeError(f"unexpected message {msg[0]!r} mid-drain")
+            else:
+                self.deferred.append(msg)
 
     def finish_units(self, own: int) -> None:
         """Release the batch's TaskCount units after a complete drain."""
@@ -280,7 +310,10 @@ def run_worker(wid, network, shard, inboxes, outbox, taskcount,
     state.tasks_done = tasks_done
     try:
         while not state.stopping:
-            msg = state.inbox.get()
+            if state.deferred:
+                msg = state.deferred.pop(0)
+            else:
+                msg = state.inbox.get()
             kind = msg[0]
             if kind == "changes":
                 state.on_changes(msg[1], msg[2],

@@ -76,22 +76,49 @@ class TaskQueueSet:
         self.n_queues = n_queues
         self._queues: List[List[Any]] = [[] for _ in range(n_queues)]
         self._locks = [SpinLock(label="queue") for _ in range(n_queues)]
+        #: Read-only view of the queue lists for dispatch policies —
+        #: only ``len(views[i])`` may be read without a lock.
+        self.views = self._queues
+        # Conservation counters for the policy layer, always on (plain
+        # int bumps under the GIL; racy lost updates are possible under
+        # free threading but they only feed heuristics and tests that
+        # drive the queues single-threaded).
+        self.pushed = 0
+        self.popped = 0
+        #: Pops satisfied from a non-home queue — the steal counter.
+        self.stolen = 0
+        #: Deepest any single queue has ever been — the imbalance probe.
+        self.max_depth = 0
 
     def push(self, task: Any, home: int = 0) -> None:
         """Push ``task``; ``home`` selects the queue (mod n_queues)."""
         yield_point("queue_push", task)
-        if _obs.ENABLED:
-            _obs.count("queue.push")
         qi = home % self.n_queues
         with self._locks[qi]:
             self._queues[qi].append(task)
+            depth = len(self._queues[qi])
+        self.pushed += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if _obs.ENABLED:
+            _obs.count("queue.push")
+            if depth * self.n_queues > 2 * len(self):
+                # This queue holds more than twice its fair share —
+                # the imbalance counter the rebalancing policy exists
+                # to keep near zero.
+                _obs.count("queue.push_imbalanced")
 
-    def pop(self, home: int = 0) -> Optional[Any]:
-        """Pop from the home queue, else scan the others; None if all empty."""
+    def pop(self, home: int = 0, steal: bool = True) -> Optional[Any]:
+        """Pop from the home queue, else scan the others; None if all empty.
+
+        ``steal=False`` restricts the pop to the home queue (a policy
+        that forbids stealing); the default scans every queue so no
+        task can be stranded.
+        """
         yield_point("queue_pop", home)
-        n = self.n_queues
+        n = self.n_queues if steal else 1
         for offset in range(n):
-            qi = (home + offset) % n
+            qi = (home + offset) % self.n_queues
             queue = self._queues[qi]
             if not queue:
                 # The "test" half: peek without the lock; skip queues
@@ -99,6 +126,9 @@ class TaskQueueSet:
                 continue
             with self._locks[qi]:
                 if queue:
+                    self.popped += 1
+                    if offset:
+                        self.stolen += 1
                     if _obs.ENABLED:
                         _obs.count("queue.pop")
                         if offset:

@@ -22,6 +22,10 @@ Three families, per the harness design:
   deep-chain blow-up trigger), starve quiescence detection
   (``starve-quiescence``), or starve one match process
   (``starve-worker``).
+* :class:`BurstPolicy` — timeslice emulation (``burst:<quantum>``):
+  each thread runs a long run of consecutive decisions, the shape a
+  preemptive interpreter actually produces, and the one that sustains
+  the multi-queue conjugate amplification.
 
 Every policy carries the same livelock guard: a thread parked at a
 *waiting* label (spin, idle, quiescence poll — see
@@ -118,6 +122,48 @@ class PCTPolicy(_GuardMixin):
         return self._guard(runnable, leader)[0]
 
 
+class BurstPolicy(_GuardMixin):
+    """Timeslice emulation: one thread runs ``quantum`` consecutive
+    decisions before the slice rotates to the next thread (name order).
+
+    The uniform-random policy switches threads at every yield point —
+    maximal interleaving — which lets conjugate ``+``/``-`` twins
+    annihilate almost as soon as they meet.  A preemptive interpreter
+    does the opposite: each thread owns the core for a long slice and
+    drains its own LIFO queue alone.  That burst shape is what sustains
+    the multi-queue conjugate amplification (each generation of a
+    split pair multiplies before its delete half is serviced), so this
+    family is the one that reproduces the rubik livelock inside the
+    deterministic harness (``tests/schedck/test_rubik_livelock.py``).
+    """
+
+    def __init__(self, seed: int, quantum: int = 100) -> None:
+        super().__init__()
+        self.name = f"burst:{quantum}"
+        self.quantum = quantum
+        self.rng = random.Random(seed)
+        self._current: Optional[str] = None
+        self._left = 0
+
+    def choose(self, runnable: Runnable, step: int) -> str:
+        if len(runnable) == 1:
+            return runnable[0][0]
+        names = [r[0] for r in runnable]
+        if self._current not in names or self._left <= 0:
+            # Slice expired (or owner left): next runnable thread in
+            # name order after the old owner, wrapping — deterministic.
+            later = [n for n in names if self._current is not None and n > self._current]
+            owner = later[0] if later else names[0]
+            self._current = owner
+            self._left = self.quantum
+        choice = runnable[names.index(self._current)]
+        self._left -= 1
+        # The guard may override a slice owner stuck at a waiting
+        # label (an involuntary context switch); the owner keeps the
+        # remainder of its slice, as under a real interpreter.
+        return self._guard(runnable, choice)[0]
+
+
 class AdversarialPolicy(_GuardMixin):
     """Targeted schedules that delay a label- or name-selected victim.
 
@@ -169,6 +215,10 @@ def make_policy(spec: str, seed: int):
         return PCTPolicy(seed)
     if spec.startswith("pct:"):
         return PCTPolicy(seed, depth=int(spec.split(":", 1)[1]))
+    if spec == "burst":
+        return BurstPolicy(seed)
+    if spec.startswith("burst:"):
+        return BurstPolicy(seed, quantum=int(spec.split(":", 1)[1]))
     if spec.startswith("adversarial:"):
         return AdversarialPolicy(spec.split(":", 1)[1], seed)
     raise ValueError(f"unknown schedule policy {spec!r}")

@@ -22,6 +22,7 @@ import pytest
 
 from repro.ops5.interpreter import Interpreter
 from repro.ops5.parser import parse_program
+from repro.parallel.policy import POLICY_NAMES, SAFE_QUEUE_MATRIX
 from repro.programs import (
     blocks,
     crossfire,
@@ -33,16 +34,21 @@ from repro.programs import (
 )
 
 #: Engine name -> Interpreter(engine=..., engine_opts=...) selections.
-#: A new backend joins the conformance matrix by adding one line.
+#: A new backend joins the conformance matrix by adding one line; a
+#: new dispatch policy joins it automatically via the registry loop
+#: below (and the registry-sync guard in test_conformance.py fails if
+#: the loop and :data:`repro.parallel.policy.POLICY_NAMES` drift).
 #:
-#: The threaded engine runs with a single task queue: with several
-#: queues the rubik workloads hit a (pre-existing, schedule-dependent)
-#: conjugate extra-deletes blow-up — adds and their out-of-order
-#: deletes land on different queues, one worker races ahead, and the
-#: parked-delete lists grow until every insert rescans them.  One
-#: queue keeps processing order near-arrival and the suite fast; the
-#: multi-queue interleavings stay covered by tests/parallel and the
-#: schedck harness.
+#: The base threaded row runs its default round-robin dispatch on a
+#: single task queue; each other policy runs at its conformance-safe
+#: queue count from SAFE_QUEUE_MATRIX.  The per-policy counts replace
+#: the old blanket ``n_queues=1`` pin: at ``n_queues == n_workers``
+#: the rubik workloads livelock under dispatch policies without load
+#: feedback — conjugate ``+``/``-`` halves land on different LIFO
+#: queues and the amplification outruns annihilation (reproduced
+#: deterministically in ``tests/schedck/test_rubik_livelock.py``).
+#: ``mp@affinity`` covers the blocked shard placement, the other
+#: placement half of the same policy objects.
 ENGINES = {
     "sequential": dict(engine="sequential", engine_opts={}),
     "threaded": dict(engine="threaded",
@@ -50,6 +56,20 @@ ENGINES = {
     "mp": dict(engine="mp", engine_opts={"n_workers": 2}),
     "corgi": dict(engine="corgi", engine_opts={}),
 }
+for _policy in POLICY_NAMES:
+    if _policy == "round-robin":
+        continue  # the base "threaded" row: default policy, 1 queue
+    ENGINES[f"threaded@{_policy}"] = dict(
+        engine="threaded",
+        engine_opts={
+            "n_workers": 2,
+            "n_queues": SAFE_QUEUE_MATRIX[_policy],
+            "policy": _policy,
+        },
+    )
+ENGINES["mp@affinity"] = dict(
+    engine="mp", engine_opts={"n_workers": 2, "policy": "affinity"}
+)
 
 #: Program name -> OPS5 source factory.  Sizes chosen so the whole
 #: matrix stays inside tier-1 time; "cube" is the cube-model generator

@@ -222,3 +222,118 @@ class TestMeasurement:
             mp.close()
         assert mp.stats.wme_changes == seq.stats.wme_changes
         assert mp.stats.constant_tests == seq.stats.constant_tests
+
+
+class TestForwardDeadlockAvoidance:
+    """Regression for the mutual pipe-full deadlock.
+
+    Two workers forwarding heavily to each other could both block in
+    ``put`` with both OS pipes full (observed intermittently as a
+    rubik-mp hang: both processes in ``pipe_write``, TaskCount frozen,
+    the control process polling forever).  The guarantee that breaks
+    the cycle: ``route_child`` drains its own inbox *before* every
+    potentially-blocking forward, so a worker's pending write into us
+    always completes before we block writing to it.
+    """
+
+    def _state(self, pending_msgs):
+        import threading
+
+        from repro.parallel.mp.worker import _WorkerState
+
+        class FakeNode:
+            node_id = 1
+            kind = "join"
+
+            def uses_line(self):
+                return True
+
+            def key_for(self, side, token):
+                return ("k",)
+
+        class FakeNetwork:
+            beta_nodes = [FakeNode()]
+
+        class FakeShard:
+            n_lines = 8
+            n_workers = 2
+
+            def route(self, node_id, key):
+                return 1  # always the peer
+
+        class FakeCount:
+            def __init__(self):
+                self.value = 0
+                self._lock = threading.Lock()
+
+            def get_lock(self):
+                return self._lock
+
+        class FakeInbox:
+            def __init__(self, msgs):
+                self.msgs = list(msgs)
+
+            def empty(self):
+                return not self.msgs
+
+            def get(self):
+                return self.msgs.pop(0)
+
+        state = _WorkerState(
+            0, FakeNetwork(), FakeShard(), FakeInbox(pending_msgs),
+            outbox=None, taskcount=FakeCount(),
+        )
+        return state, FakeNetwork.beta_nodes[0]
+
+    def test_route_child_absorbs_inbox_before_forwarding(self):
+        from repro.rete.nodes import Activation
+        from repro.rete.token import Token
+
+        wme = WME.make("block", {"color": "red"}, 1)
+        pending = ("act", 1, "left", 1, (wme,))
+        state, node = self._state([pending])
+
+        inbox_empty_at_put = []
+
+        class FakePeerQueue:
+            def put(_self, msg):
+                inbox_empty_at_put.append(state.inbox.empty())
+
+        state._forward_queues = {1: FakePeerQueue()}
+        act = Activation(node, "left", 1, Token.single(wme))
+        state.route_child(act)
+
+        # The forward happened, with our own pipe already drained.
+        assert inbox_empty_at_put == [True]
+        # The pending peer message was absorbed into local work and its
+        # TaskCount unit is held as borrowed; ours was added for the
+        # forward.
+        assert state.borrowed == 1
+        assert len(state.local) == 1
+        assert state.taskcount.value == 1
+
+    def test_racing_batch_broadcast_is_deferred_not_fatal(self):
+        """A forwarded act can overtake the ("changes", ...) broadcast
+        it belongs to (peer and control share the inbox pipe).  The
+        mid-drain absorb must park the batch message for the main loop
+        instead of treating it as a protocol violation."""
+        from repro.rete.nodes import Activation
+        from repro.rete.token import Token
+
+        wme = WME.make("block", {"color": "red"}, 1)
+        racing_batch = ("changes", 6, [(1, wme)], None)
+        state, node = self._state([racing_batch])
+
+        forwarded = []
+
+        class FakePeerQueue:
+            def put(_self, msg):
+                forwarded.append(msg)
+
+        state._forward_queues = {1: FakePeerQueue()}
+        act = Activation(node, "left", 1, Token.single(wme))
+        state.route_child(act)
+
+        assert state.deferred == [racing_batch]
+        assert state.borrowed == 0
+        assert len(forwarded) == 1

@@ -21,32 +21,17 @@ the paper's §3.2 claim boundary.
 
 import pytest
 
-from repro.ops5.wme import WMEChange, WorkingMemory
 from repro.schedck.runner import EngineConfig, run_schedule
-
-#: A 4-level chain: every class joins the next on the shared variable,
-#: like Rubik's deep rotation rules (22 CEs in the original).
-DEEP_CHAIN = "(p chain (c0 ^a <x>) (c1 ^a <x>) (c2 ^a <x>) (c3 ^a <x>) --> (halt))"
+from repro.schedck.workloads import deep_chain_case
 
 #: The pinned schedule: delete halves of every modify delayed behind
-#: the add halves, three workers racing on one queue.
+#: the add halves, three workers racing on one queue.  The workload is
+#: the registry's ``deep-chain`` fixture, so the failure replays as
+#: ``python -m repro schedck --workload deep-chain --workers 3
+#: --policy adversarial:delay-deletes``.
 PINNED_SEED = 0
 PINNED_CONFIG = EngineConfig(n_workers=3, n_queues=1)
 PINNED_POLICY = "adversarial:delay-deletes"
-
-
-def deep_chain_case():
-    """Batch 1 builds the chain; batch 2 modifies every level above the
-    base — the delete and re-add of each WME travel in one batch."""
-    wm = WorkingMemory()
-    base = [wm.add(f"c{i}", {"a": 1}) for i in range(4)]
-    batch1 = [WMEChange(1, w) for w in base]
-    batch2 = []
-    for wme in base[1:]:
-        old, new = wm.modify(wme, {"a": 1})
-        batch2.append(WMEChange(-1, old))
-        batch2.append(WMEChange(1, new))
-    return DEEP_CHAIN, [batch1, batch2]
 
 
 def run_pinned():
